@@ -1,0 +1,10 @@
+"""Helpers shared by benchmark modules (kept out of conftest so imports
+stay unambiguous when tests/ and benchmarks/ run in one pytest session)."""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under benchmark timing — these benchmarks
+    are whole-simulation reproductions, not micro-benchmarks."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,21 @@
+"""X8 — ablation: convergence vs hop distance from the ISP."""
+
+from bench_utils import run_once
+
+from repro.experiments.ablations import distance_profile_experiment
+
+
+def test_ablation_distance_profile(benchmark, record_experiment):
+    result = run_once(benchmark, distance_profile_experiment)
+    record_experiment(result)
+    buckets = {row[0]: row for row in result.rows}
+    # The torus has rings out to 10 hops from any node.
+    assert 0 in buckets and max(buckets) >= 5
+    # False suppression reaches routers several hops away.
+    far_with_suppression = sum(
+        row[4] for hops, row in buckets.items() if hops >= 3
+    )
+    assert far_with_suppression > 0
+    # Some remote routers settle long after the origin's final
+    # announcement (the releasing period).
+    assert max(row[3] for row in result.rows) > 1000.0

@@ -1,0 +1,18 @@
+"""X5 — ablation: temporal flap patterns (regular/poisson/jittered/burst)."""
+
+from bench_utils import run_once
+
+from repro.experiments.ablations import flap_pattern_experiment
+
+
+def test_ablation_flap_patterns(benchmark, record_experiment):
+    result = run_once(benchmark, flap_pattern_experiment)
+    record_experiment(result)
+    by_pattern = {row[0]: row for row in result.rows}
+    # Every pattern converges and triggers some damping at 5 pulses.
+    for name, row in by_pattern.items():
+        assert row[3] > 0, f"{name}: expected nonzero convergence time"
+        assert row[5] > 0, f"{name}: expected suppressions"
+    # A jittered pattern is a small perturbation of regular: same pulse
+    # count, same ballpark of suppression.
+    assert by_pattern["jittered"][1] == by_pattern["regular"][1]

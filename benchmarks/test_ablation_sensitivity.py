@@ -1,0 +1,19 @@
+"""X7 — ablation: damping-parameter sensitivity (intended-model sweep)."""
+
+from bench_utils import run_once
+
+from repro.experiments.ablations import sensitivity_experiment
+
+
+def test_ablation_sensitivity(benchmark, record_experiment):
+    result = run_once(benchmark, sensitivity_experiment)
+    record_experiment(result)
+    onsets = {row[0]: row[1] for row in result.rows}
+    # Raising the cut-off tolerates more flaps before suppression.
+    assert onsets["cutoff_threshold=2000"] == 3
+    assert onsets["cutoff_threshold=6000"] > onsets["cutoff_threshold=3000"]
+    # Juniper suppresses earlier than Cisco (re-announcements charge too).
+    assert onsets["juniper-defaults"] == 2
+    # Sustained delays are capped by the hold-down time.
+    for row in result.rows:
+        assert row[3] <= 3600.0 + 1e-6

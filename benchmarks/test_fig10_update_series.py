@@ -1,0 +1,45 @@
+"""F10 — Figure 10: update series and damped-link count for n = 1, 3, 5.
+
+Shape targets (paper): n=1 shows distinct charging / suppression /
+releasing periods with a long releasing tail; n=3 shows muffling plus a
+strong secondary-charging surge; n=5 converges with essentially only
+silent reuses until the ISP's own timer fires.
+"""
+
+from bench_utils import run_once
+
+from repro.core.states import DampingPhase
+from repro.experiments.fig10 import fig10_experiment
+
+
+def test_fig10_update_series(benchmark, record_experiment):
+    result = run_once(benchmark, fig10_experiment)
+    record_experiment(result)
+
+    n1 = result.data["n1"]
+    n3 = result.data["n3"]
+    n5 = result.data["n5"]
+
+    # n=1: hundreds of damped links from a single pulse; the phase walk
+    # includes suppression and releasing.
+    assert n1["result"].summary.peak_damped_links > 50
+    phases1 = [interval.phase for interval in n1["phases"]]
+    assert DampingPhase.SUPPRESSION in phases1
+    assert DampingPhase.RELEASING in phases1
+
+    # n=3: muffling makes most reuses silent, but noisy expiries after the
+    # ISP's timer still trigger update waves.
+    assert n3["result"].summary.silent_reuses > n3["result"].summary.noisy_reuses
+
+    # n=5: essentially all reuse timers are muffled (silent); convergence
+    # is a single final surge after RTh.
+    assert n5["result"].summary.noisy_reuses <= 3
+    assert n5["result"].summary.silent_reuses > 100
+
+    # Update-series bookkeeping: bins sum to the message count.
+    for key in ("n1", "n3", "n5"):
+        episode = result.data[key]
+        assert (
+            sum(count for _, count in episode["update_series"])
+            == episode["result"].message_count
+        )

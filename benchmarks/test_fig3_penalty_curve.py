@@ -1,0 +1,16 @@
+"""F3 — Figure 3: penalty value over time in response to a few flaps."""
+
+from bench_utils import run_once
+
+from repro.experiments.fig3 import fig3_experiment
+
+
+def test_fig3_penalty_curve(benchmark, record_experiment):
+    result = run_once(benchmark, fig3_experiment)
+    record_experiment(result)
+    samples = dict(result.data["samples"])
+    # Shape: the curve rises past the cut-off with the flaps, then decays
+    # exponentially below the reuse threshold — as in the paper's plot.
+    assert max(samples.values()) > 2000.0
+    assert samples[2640.0] < 750.0
+    assert result.data["suppressed_at"] is not None

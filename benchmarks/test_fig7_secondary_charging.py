@@ -1,0 +1,17 @@
+"""F7 — Figure 7: secondary charging in a far router's penalty trace."""
+
+from bench_utils import run_once
+
+from repro.experiments.fig7 import fig7_experiment
+
+
+def test_fig7_secondary_charging(benchmark, record_experiment):
+    result = run_once(benchmark, fig7_experiment)
+    record_experiment(result)
+    # Shape: after a single pulse, reuse-triggered update waves push the
+    # penalty back up and postpone the reuse timer at least once; the
+    # network convergence is far beyond plain path exploration.
+    assert len(result.data["recharges"]) >= 1
+    assert result.data["convergence_time"] > 1000.0
+    record = result.data["record"]
+    assert record.ended is not None and record.ended > record.started

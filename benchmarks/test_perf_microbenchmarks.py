@@ -1,0 +1,84 @@
+"""Simulator performance micro-benchmarks.
+
+Unlike the figure benchmarks (one full run each), these measure the hot
+paths with repeated rounds so regressions in the substrate show up as
+timing changes: event-loop throughput, penalty arithmetic, decision
+process, and a complete small episode.
+"""
+
+from repro.bgp.attrs import Route
+from repro.bgp.decision import select_best
+from repro.core.params import CISCO_DEFAULTS, UpdateKind
+from repro.core.penalty import PenaltyState
+from repro.experiments.base import small_mesh_config
+from repro.sim.engine import Engine
+from repro.workload.pulses import PulseSchedule
+from repro.workload.scenarios import Scenario
+
+
+def test_perf_engine_event_throughput(benchmark):
+    """Schedule and drain 10k events."""
+
+    def run() -> int:
+        engine = Engine()
+        for i in range(10_000):
+            engine.schedule(float(i % 100), lambda: None)
+        return engine.run()
+
+    executed = benchmark(run)
+    assert executed == 10_000
+
+
+def test_perf_penalty_charging(benchmark):
+    """10k charge/decay cycles on one penalty state."""
+
+    def run() -> float:
+        state = PenaltyState(CISCO_DEFAULTS)
+        value = 0.0
+        for i in range(10_000):
+            value = state.charge(float(i), UpdateKind.ATTRIBUTE_CHANGE)
+        return value
+
+    value = benchmark(run)
+    assert 0.0 < value <= CISCO_DEFAULTS.penalty_ceiling
+
+
+def test_perf_decision_process(benchmark):
+    """Best-path selection over 16 candidates, 10k times."""
+    candidates = [
+        (
+            f"peer{i:02d}",
+            Route(
+                prefix="p0",
+                as_path=(f"peer{i:02d}",) + tuple(f"x{j}" for j in range(i % 5)) + ("o",),
+                learned_from=f"peer{i:02d}",
+            ),
+        )
+        for i in range(16)
+    ]
+
+    def pref(peer: str, route: Route) -> int:
+        del peer, route
+        return 100
+
+    def run():
+        best = None
+        for _ in range(10_000):
+            best = select_best(candidates, pref)
+        return best
+
+    best = benchmark(run)
+    assert best is not None
+    assert best[0] == "peer00"
+
+
+def test_perf_full_small_episode(benchmark):
+    """Complete build/warm-up/episode on a 5x5 damping mesh."""
+
+    def run():
+        scenario = Scenario(small_mesh_config(seed=11))
+        scenario.warm_up()
+        return scenario.run(PulseSchedule.regular(1, 60.0))
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.message_count > 0

@@ -1,0 +1,16 @@
+"""T1 — Table 1: default damping parameters (Cisco, Juniper)."""
+
+from bench_utils import run_once
+
+from repro.experiments.table1 import table1_experiment
+
+
+def test_table1_parameters(benchmark, record_experiment):
+    result = run_once(benchmark, table1_experiment)
+    record_experiment(result)
+    cisco = result.data["cisco"]
+    juniper = result.data["juniper"]
+    assert cisco["withdrawal_penalty"] == 1000.0
+    assert cisco["reannouncement_penalty"] == 0.0
+    assert juniper["reannouncement_penalty"] == 1000.0
+    assert juniper["cutoff_threshold"] == 3000.0

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""RCN-enhanced damping vs plain damping vs no damping (Figures 8/13).
+
+Sweeps the number of pulses on the 100-node mesh under three protocol
+configurations and prints convergence time and message count side by
+side with the Section 3 calculation. The table reproduces the paper's
+headline result: plain damping overshoots the intended convergence time
+by an order of magnitude for small pulse counts, while RCN-enhanced
+damping tracks the calculation at every pulse count.
+
+Run:  python examples/rcn_comparison.py  (takes ~20 seconds)
+"""
+
+from repro import CISCO_DEFAULTS, IntendedBehaviorModel
+from repro.experiments.base import mesh100_config, run_point
+from repro.metrics.report import render_table
+
+
+def main() -> None:
+    pulse_counts = [1, 2, 3, 5, 8]
+    rows = []
+    for pulses in pulse_counts:
+        none = run_point(mesh100_config(damping=None), pulses)
+        plain = run_point(mesh100_config(), pulses)
+        rcn = run_point(mesh100_config(rcn=True), pulses)
+        model = IntendedBehaviorModel(
+            CISCO_DEFAULTS, flap_interval=60.0, tup=none.warmup_convergence
+        )
+        intended = model.predict(pulses).convergence_time
+        rows.append(
+            [
+                pulses,
+                round(none.convergence_time, 1),
+                round(plain.convergence_time, 1),
+                round(rcn.convergence_time, 1),
+                round(intended, 1),
+                plain.message_count,
+                rcn.message_count,
+            ]
+        )
+    print(
+        render_table(
+            [
+                "pulses",
+                "no damping (s)",
+                "plain damping (s)",
+                "RCN damping (s)",
+                "intended (s)",
+                "plain msgs",
+                "RCN msgs",
+            ],
+            rows,
+            title="convergence time and message count, 100-node mesh",
+        )
+    )
+    print()
+    print("RCN tracks the intended column; plain damping overshoots it")
+    print("badly until the muffling effect kicks in (n >= 5 here).")
+
+
+if __name__ == "__main__":
+    main()

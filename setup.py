@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The primary metadata lives in ``pyproject.toml``; this file exists so the
+package installs in environments without the ``wheel`` package (offline
+CI), via ``pip install -e . --no-use-pep517 --no-build-isolation``.
+"""
+
+from setuptools import setup
+
+setup()

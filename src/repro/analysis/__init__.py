@@ -1,0 +1,50 @@
+"""Post-run analysis of reuse-timer interactions.
+
+The paper's core discovery is *causal*: updates triggered by route reuse
+at one router recharge damping penalties (and postpone reuse timers) at
+other routers. :mod:`repro.analysis.attribution` reconstructs that causal
+structure from a finished run — attributing every reuse-timer
+postponement to the noisy reuse event (or origin flap) whose update wave
+caused it — and quantifies how much of the convergence delay secondary
+charging is responsible for.
+"""
+
+from repro.analysis.attribution import (
+    AttributionReport,
+    RechargeAttribution,
+    attribute_recharges,
+    suppression_extension_seconds,
+)
+from repro.analysis.distance import (
+    DistanceBucket,
+    convergence_by_distance,
+    farthest_settling_router,
+)
+from repro.analysis.invariants import (
+    InvariantReport,
+    InvariantViolation,
+    check_converged_invariants,
+)
+from repro.analysis.sensitivity import (
+    SensitivityPoint,
+    evaluate_params,
+    sweep_parameter,
+    tolerance_frontier,
+)
+
+__all__ = [
+    "AttributionReport",
+    "DistanceBucket",
+    "InvariantReport",
+    "InvariantViolation",
+    "check_converged_invariants",
+    "RechargeAttribution",
+    "SensitivityPoint",
+    "attribute_recharges",
+    "convergence_by_distance",
+    "evaluate_params",
+    "farthest_settling_router",
+    "suppression_extension_seconds",
+    "sweep_parameter",
+    "tolerance_frontier",
+]

@@ -1,0 +1,198 @@
+"""Attribution of reuse-timer postponements (secondary charging).
+
+A damping penalty can only be *recharged* while suppressed if an update
+arrives — and after the origin's final announcement the only sources of
+new update waves are noisy reuse-timer expirations. This module walks a
+finished run and attributes each recharge to its most plausible cause:
+
+- ``"reuse"`` — a noisy reuse expiry at some router happened within the
+  attribution window before the recharge (the wave it launched is what
+  recharged the penalty). This is the paper's secondary charging.
+- ``"flap"``  — an origin flap happened within the window (primary
+  charging during the flapping episode).
+- ``"mixed"`` — both are within the window (the causes overlap and the
+  trace alone cannot separate them).
+
+The aggregate report answers the paper's Section 4/5 questions
+quantitatively: how many postponements were caused by reuse waves, which
+reuse events had the largest fan-out ("after shocks"), and how much
+suppression time secondary charging added.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.damping import ReuseEvent, SuppressionRecord
+from repro.core.params import DampingParams
+from repro.errors import ConfigurationError
+from repro.workload.scenarios import FlapRunResult
+
+#: How far back (seconds) a cause may precede the recharge it explains.
+#: Update waves take one MRAI round plus propagation to reach a
+#: neighbour; 2x the default MRAI is a comfortable bound.
+DEFAULT_WINDOW = 60.0
+
+
+@dataclass(frozen=True)
+class RechargeAttribution:
+    """One reuse-timer postponement and its inferred cause."""
+
+    time: float
+    router: str
+    peer: str
+    prefix: str
+    cause: str  # "reuse" | "flap" | "mixed" | "unattributed"
+    #: Time of the attributed noisy reuse (None unless cause includes reuse).
+    reuse_time: Optional[float] = None
+    #: Time of the attributed flap (None unless cause includes flap).
+    flap_time: Optional[float] = None
+
+
+@dataclass
+class AttributionReport:
+    """Aggregate view of secondary charging in one run."""
+
+    attributions: List[RechargeAttribution] = field(default_factory=list)
+    window: float = DEFAULT_WINDOW
+
+    @property
+    def total(self) -> int:
+        return len(self.attributions)
+
+    def count(self, cause: str) -> int:
+        return sum(1 for a in self.attributions if a.cause == cause)
+
+    @property
+    def reuse_caused(self) -> int:
+        """Postponements definitely caused by reuse waves."""
+        return self.count("reuse")
+
+    @property
+    def flap_caused(self) -> int:
+        return self.count("flap")
+
+    @property
+    def mixed(self) -> int:
+        return self.count("mixed")
+
+    @property
+    def unattributed(self) -> int:
+        return self.count("unattributed")
+
+    @property
+    def secondary_fraction(self) -> float:
+        """Fraction of postponements attributable (at least partly) to
+        reuse waves — the footprint of secondary charging."""
+        if not self.attributions:
+            return 0.0
+        return (self.reuse_caused + self.mixed) / self.total
+
+    def fanout_by_reuse_event(self) -> List[Tuple[float, int]]:
+        """(reuse time, number of recharges it explains), largest first.
+
+        The big entries are the paper's "after shocks": a single reuse
+        expiry whose update wave postpones many other reuse timers.
+        """
+        counts: Dict[float, int] = {}
+        for attribution in self.attributions:
+            if attribution.reuse_time is not None:
+                counts[attribution.reuse_time] = counts.get(attribution.reuse_time, 0) + 1
+        return sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+
+
+def _latest_before(times: Sequence[float], t: float, window: float) -> Optional[float]:
+    """Largest element of sorted ``times`` in ``[t - window, t]``."""
+    index = bisect.bisect_right(times, t) - 1
+    if index < 0:
+        return None
+    candidate = times[index]
+    if candidate < t - window:
+        return None
+    return candidate
+
+
+def attribute_recharges(
+    suppression_records: Dict[str, List[SuppressionRecord]],
+    reuse_events: Sequence[ReuseEvent],
+    flap_times: Sequence[float],
+    window: float = DEFAULT_WINDOW,
+) -> AttributionReport:
+    """Attribute every recharge in ``suppression_records``.
+
+    Parameters
+    ----------
+    suppression_records:
+        ``{router: [SuppressionRecord, ...]}`` as returned by
+        :meth:`repro.metrics.collector.MetricsCollector.suppression_records`.
+    reuse_events:
+        All reuse expiries in the run (only *noisy* ones can cause
+        recharges; silent ones are ignored).
+    flap_times:
+        The origin's flap event times.
+    window:
+        Attribution window in seconds.
+    """
+    if window <= 0:
+        raise ConfigurationError(f"window must be > 0, got {window}")
+    noisy_times = sorted(event.time for event in reuse_events if event.noisy)
+    flap_sorted = sorted(flap_times)
+    report = AttributionReport(window=window)
+    for router, records in suppression_records.items():
+        for record in records:
+            for recharge_time in record.recharges:
+                reuse_time = _latest_before(noisy_times, recharge_time, window)
+                flap_time = _latest_before(flap_sorted, recharge_time, window)
+                if reuse_time is not None and flap_time is not None:
+                    cause = "mixed"
+                elif reuse_time is not None:
+                    cause = "reuse"
+                elif flap_time is not None:
+                    cause = "flap"
+                else:
+                    cause = "unattributed"
+                report.attributions.append(
+                    RechargeAttribution(
+                        time=recharge_time,
+                        router=router,
+                        peer=record.peer,
+                        prefix=record.prefix,
+                        cause=cause,
+                        reuse_time=reuse_time,
+                        flap_time=flap_time,
+                    )
+                )
+    report.attributions.sort(key=lambda a: a.time)
+    return report
+
+
+def analyze_run(result: FlapRunResult, window: float = DEFAULT_WINDOW) -> AttributionReport:
+    """Attribution report for a finished scenario episode."""
+    return attribute_recharges(
+        result.collector.suppression_records(),
+        result.collector.reuse_events(),
+        result.flap_times,
+        window=window,
+    )
+
+
+def suppression_extension_seconds(
+    records: Sequence[SuppressionRecord], params: DampingParams
+) -> float:
+    """Total suppression time added beyond the charging-only estimate.
+
+    For each completed suppression, the route would have been reused
+    ``reuse_delay(penalty_at_start)`` after it started had nothing
+    recharged it; anything beyond that is time added by recharges. The
+    sum over all records is the aggregate delay that reuse-timer
+    interactions injected into the run.
+    """
+    total = 0.0
+    for record in records:
+        if record.ended is None:
+            continue
+        baseline = record.started + params.reuse_delay(record.penalty_at_start)
+        total += max(0.0, record.ended - baseline)
+    return total

@@ -1,0 +1,30 @@
+"""A path-vector (BGP-like) routing protocol for the simulator.
+
+Each :class:`BgpRouter` is one AS: it keeps per-peer Adj-RIB-In tables, a
+Loc-RIB with the selected best route, and per-peer Adj-RIB-Out tables;
+announcements are rate-limited by a jittered per-peer MRAI timer;
+withdrawals propagate immediately. Route flap damping (and optionally the
+RCN or selective-damping penalty filters) plug into update processing.
+
+The protocol is single-prefix-friendly but fully general: all tables are
+keyed by prefix.
+"""
+
+from repro.bgp.attrs import Route
+from repro.bgp.messages import UpdateMessage
+from repro.bgp.mrai import MraiConfig
+from repro.bgp.origin import OriginRouter
+from repro.bgp.policy import NoValleyPolicy, RoutingPolicy, ShortestPathPolicy
+from repro.bgp.router import BgpRouter, RouterConfig
+
+__all__ = [
+    "BgpRouter",
+    "MraiConfig",
+    "NoValleyPolicy",
+    "OriginRouter",
+    "Route",
+    "RouterConfig",
+    "RoutingPolicy",
+    "ShortestPathPolicy",
+    "UpdateMessage",
+]

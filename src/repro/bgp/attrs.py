@@ -1,0 +1,79 @@
+"""Route attributes.
+
+A :class:`Route` is what lives in RIB tables: the destination prefix, the
+AS path as received (the sending peer's ASN first, the originating ASN
+last), and the peer it was learned from. Routes are immutable and
+value-compared, which makes "did this update change anything?"
+(duplicate detection, Adj-RIB-Out deltas) a simple equality test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import ProtocolError
+
+
+@dataclass(frozen=True)
+class Route:
+    """One path to ``prefix`` as stored in a RIB.
+
+    ``as_path[0]`` is the ASN of the neighbour that announced the route
+    (BGP speakers prepend themselves when announcing); ``as_path[-1]`` is
+    the originating AS. ``learned_from`` is the peer whose Adj-RIB-In the
+    route sits in — for routes in Loc-RIB it records where the best route
+    came from; for self-originated routes it equals the local ASN.
+    """
+
+    prefix: str
+    as_path: Tuple[str, ...]
+    learned_from: str
+
+    def __post_init__(self) -> None:
+        if not self.prefix:
+            raise ProtocolError("route prefix must be non-empty")
+        if not self.as_path:
+            raise ProtocolError(f"route for {self.prefix!r} must have a non-empty AS path")
+
+    @property
+    def path_length(self) -> int:
+        """Number of ASes in the path (the decision-process metric)."""
+        return len(self.as_path)
+
+    @property
+    def origin_as(self) -> str:
+        """The AS that originated the prefix."""
+        return self.as_path[-1]
+
+    @property
+    def next_hop_as(self) -> str:
+        """The neighbouring AS the path goes through."""
+        return self.as_path[0]
+
+    def contains(self, asn: str) -> bool:
+        """True when ``asn`` appears in the AS path (loop detection)."""
+        return asn in self.as_path
+
+    def prepended_by(self, asn: str) -> "Route":
+        """The route as this router would announce it: ``asn`` prepended.
+
+        Raises :class:`ProtocolError` if prepending would create a loop,
+        which would indicate a bug in the caller's loop prevention.
+        """
+        if asn in self.as_path:
+            raise ProtocolError(
+                f"prepending {asn!r} to {self.as_path!r} would create a loop"
+            )
+        return Route(
+            prefix=self.prefix,
+            as_path=(asn,) + self.as_path,
+            learned_from=asn,
+        )
+
+    def same_attributes(self, other: "Route") -> bool:
+        """Attribute-level equality (ignores which peer it came from)."""
+        return self.prefix == other.prefix and self.as_path == other.as_path
+
+    def __str__(self) -> str:
+        return f"{self.prefix} via [{' '.join(self.as_path)}]"

@@ -1,0 +1,60 @@
+"""BGP update messages.
+
+One :class:`UpdateMessage` carries either an announcement (``as_path`` set)
+or a withdrawal (``as_path`` is ``None``) for a single prefix, plus the
+optional attributes this reproduction studies: the Root Cause Notification
+(:class:`repro.core.rcn.RootCause`) and the selective-damping relative
+preference tag.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.core.rcn import RootCause
+from repro.core.selective import RelativePreference
+from repro.errors import ProtocolError
+
+_update_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class UpdateMessage:
+    """A single-prefix BGP UPDATE.
+
+    ``as_path`` is the path as announced by the sender (sender's ASN
+    first); ``None`` means the prefix is withdrawn. ``root_cause`` is
+    propagated whether or not receivers use it for damping — only the
+    damping filter is switched by configuration, as in the paper.
+    """
+
+    prefix: str
+    as_path: Optional[Tuple[str, ...]]
+    root_cause: Optional[RootCause] = None
+    preference: Optional[RelativePreference] = None
+    update_id: int = field(default_factory=lambda: next(_update_ids))
+
+    def __post_init__(self) -> None:
+        if not self.prefix:
+            raise ProtocolError("update prefix must be non-empty")
+        if self.as_path is not None and not self.as_path:
+            raise ProtocolError("announcement must carry a non-empty AS path")
+
+    @property
+    def is_withdrawal(self) -> bool:
+        return self.as_path is None
+
+    @property
+    def is_announcement(self) -> bool:
+        return self.as_path is not None
+
+    def __str__(self) -> str:
+        if self.is_withdrawal:
+            body = "withdraw"
+        else:
+            assert self.as_path is not None
+            body = f"announce [{' '.join(self.as_path)}]"
+        rc = f" rc={self.root_cause}" if self.root_cause else ""
+        return f"UPDATE({self.prefix}: {body}{rc})"

@@ -1,0 +1,508 @@
+"""The BGP speaker.
+
+:class:`BgpRouter` ties the whole protocol together: update
+classification against Adj-RIB-In, damping (with optional RCN or
+selective-damping penalty filters), the decision process, root-cause
+propagation, policy-filtered export with per-peer MRAI rate limiting, and
+origination of local prefixes.
+
+Processing pipeline for a received update (paper Sections 2 and 6):
+
+1. classify against the peer's Adj-RIB-In (withdrawal / re-announcement /
+   attribute change / duplicate / first announcement),
+2. install into Adj-RIB-In (remembering the update's root cause),
+3. damping: ask the configured filter whether this update *charges*, then
+   let the :class:`~repro.core.damping.DampingManager` update the penalty
+   and the suppression state — a newly suppressed entry immediately drops
+   out of the candidate set,
+4. re-run the decision process; if the Loc-RIB changed, remember the
+   triggering root cause and synchronise every peer's Adj-RIB-Out
+   (withdrawals immediately, announcements through MRAI).
+
+Reuse-timer expiries re-run step 4 with the *stored* root cause of the
+reused route and report to the damping manager whether the expiry was
+noisy (Loc-RIB changed) or silent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.bgp.attrs import Route
+from repro.bgp.decision import select_best
+from repro.bgp.messages import UpdateMessage
+from repro.bgp.mrai import MraiConfig, MraiLimiter
+from repro.bgp.policy import RoutingPolicy, ShortestPathPolicy
+from repro.bgp.rib import AdjRibIn, AdjRibOut, LocRib
+from repro.core.damping import DampingManager
+from repro.core.params import DampingParams, UpdateKind
+from repro.core.rcn import RootCause, RootCauseHistory
+from repro.core.selective import SelectiveDampingFilter, compare_paths
+from repro.net.message import Message
+from repro.net.node import Node
+from repro.sim.engine import Engine
+from repro.sim.rng import RngRegistry
+
+#: Local preference assigned to self-originated routes — always wins.
+_SELF_ORIGINATED_PREF = 1_000_000
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Per-router protocol configuration.
+
+    ``damping`` enables route flap damping when set; ``rcn_enabled`` and
+    ``selective_enabled`` choose the penalty filter placed in front of the
+    damping algorithm (at most one should be set). ``attach_root_cause``
+    controls whether this router stamps/propagates RCN attributes on the
+    updates it sends — kept separate from ``rcn_enabled`` so partial
+    deployments can propagate causes without using them.
+    """
+
+    damping: Optional[DampingParams] = None
+    rcn_enabled: bool = False
+    selective_enabled: bool = False
+    attach_root_cause: bool = True
+    mrai: MraiConfig = dataclass_field(default_factory=MraiConfig)
+    #: Whether the implicit withdrawals of a BGP session going down charge
+    #: the damping penalty. RFC 2439 leaves this to the implementation;
+    #: off by default so topology maintenance does not look like flapping.
+    charge_on_session_reset: bool = False
+
+    @property
+    def damping_enabled(self) -> bool:
+        return self.damping is not None
+
+
+@dataclass
+class RouterStats:
+    """Protocol counters for one router."""
+
+    updates_received: int = 0
+    announcements_received: int = 0
+    withdrawals_received: int = 0
+    duplicates_ignored: int = 0
+    updates_sent: int = 0
+    announcements_sent: int = 0
+    withdrawals_sent: int = 0
+    best_path_changes: int = 0
+
+
+class BgpRouter(Node):
+    """One AS running the path-vector protocol with optional damping."""
+
+    def __init__(
+        self,
+        name: str,
+        engine: Engine,
+        rng: RngRegistry,
+        policy: Optional[RoutingPolicy] = None,
+        config: Optional[RouterConfig] = None,
+    ) -> None:
+        super().__init__(name)
+        self.engine = engine
+        self.config = config or RouterConfig()
+        self.policy = policy or ShortestPathPolicy()
+        self.stats = RouterStats()
+
+        self.loc_rib = LocRib()
+        #: Simulated time of the most recent Loc-RIB change per prefix —
+        #: the per-router convergence instant used by distance analyses.
+        self.last_best_change: Dict[str, float] = {}
+        self._rib_in: Dict[str, AdjRibIn] = {}
+        self._rib_out: Dict[str, AdjRibOut] = {}
+        self._originated: Set[str] = set()
+        #: Root cause of the most recent event that changed the Loc-RIB,
+        #: per prefix — copied into outgoing updates.
+        self._current_cause: Dict[str, Optional[RootCause]] = {}
+
+        self.damping: Optional[DampingManager] = None
+        if self.config.damping is not None:
+            self.damping = DampingManager(
+                engine, self.config.damping, name, self._on_reuse
+            )
+        self.rcn_history = RootCauseHistory()
+        self.selective_filter = SelectiveDampingFilter()
+        self.mrai = MraiLimiter(engine, self.config.mrai, name, rng, self._mrai_flush)
+
+    # ------------------------------------------------------------------
+    # table access
+    # ------------------------------------------------------------------
+
+    def rib_in(self, peer: str) -> AdjRibIn:
+        table = self._rib_in.get(peer)
+        if table is None:
+            table = AdjRibIn(peer)
+            self._rib_in[peer] = table
+        return table
+
+    def rib_out(self, peer: str) -> AdjRibOut:
+        table = self._rib_out.get(peer)
+        if table is None:
+            table = AdjRibOut(peer)
+            self._rib_out[peer] = table
+        return table
+
+    def best_route(self, prefix: str) -> Optional[Route]:
+        """The current Loc-RIB entry for ``prefix`` (``None`` if unreachable)."""
+        return self.loc_rib.route(prefix)
+
+    def has_route(self, prefix: str) -> bool:
+        return self.loc_rib.route(prefix) is not None
+
+    # ------------------------------------------------------------------
+    # origination
+    # ------------------------------------------------------------------
+
+    def originate(self, prefix: str, cause: Optional[RootCause] = None) -> None:
+        """Start originating ``prefix`` locally (announce to peers)."""
+        self._originated.add(prefix)
+        self._reselect(prefix, cause)
+
+    def withdraw_origination(self, prefix: str, cause: Optional[RootCause] = None) -> None:
+        """Stop originating ``prefix`` (withdraw from peers)."""
+        self._originated.discard(prefix)
+        self._reselect(prefix, cause)
+
+    def originates(self, prefix: str) -> bool:
+        return prefix in self._originated
+
+    # ------------------------------------------------------------------
+    # update processing
+    # ------------------------------------------------------------------
+
+    def handle_message(self, message: Message) -> None:
+        payload = message.payload
+        if not isinstance(payload, UpdateMessage):
+            raise TypeError(f"{self.name}: unexpected payload {payload!r}")
+        self.process_update(message.src, payload)
+
+    def process_update(self, peer: str, update: UpdateMessage) -> None:
+        """Run the full receive pipeline for one update from ``peer``."""
+        self.stats.updates_received += 1
+        if update.is_withdrawal:
+            self.stats.withdrawals_received += 1
+        else:
+            self.stats.announcements_received += 1
+
+        # Receiver-side loop protection (sender-side split horizon should
+        # already prevent this; drop defensively).
+        if update.as_path is not None and self.name in update.as_path:
+            return
+
+        table = self.rib_in(peer)
+        kind = table.classify(update.prefix, update.as_path)
+        if kind is UpdateKind.DUPLICATE:
+            self.stats.duplicates_ignored += 1
+            return
+        if kind is None and update.is_withdrawal:
+            return  # withdrawal for a route the peer never announced
+
+        table.apply(update.prefix, update.as_path, update.root_cause)
+
+        if self.damping is not None and kind is not None:
+            charge = self._should_charge(peer, kind, update)
+            kind_for_penalty = self._penalty_kind(kind, update)
+            self.damping.record_update(
+                peer, update.prefix, kind_for_penalty, charge=charge
+            )
+
+        self._reselect(update.prefix, update.root_cause)
+
+    def _should_charge(self, peer: str, kind: UpdateKind, update: UpdateMessage) -> bool:
+        if self.config.rcn_enabled:
+            return self.rcn_history.should_charge(peer, update.root_cause)
+        if self.config.selective_enabled:
+            return self.selective_filter.should_charge(peer, kind, update.preference)
+        return True
+
+    def _penalty_kind(self, kind: UpdateKind, update: UpdateMessage) -> UpdateKind:
+        """The update kind used for the penalty increment.
+
+        Plain damping penalises the *perceived* update (the receiver-side
+        classification). RCN-enhanced damping penalises the *flap itself*
+        (paper Section 7: "applying the damping penalty to the flap
+        itself, as opposed to the perceived result of a flap"): a 'down'
+        root cause charges the withdrawal penalty, an 'up' root cause the
+        re-announcement penalty, regardless of how the flap manifests at
+        this router.
+        """
+        if self.config.rcn_enabled and update.root_cause is not None:
+            if update.root_cause.status == "down":
+                return UpdateKind.WITHDRAWAL
+            return UpdateKind.REANNOUNCEMENT
+        return kind
+
+    # ------------------------------------------------------------------
+    # decision process
+    # ------------------------------------------------------------------
+
+    def _candidates(self, prefix: str) -> List[Tuple[str, Route]]:
+        candidates: List[Tuple[str, Route]] = []
+        if prefix in self._originated:
+            candidates.append(
+                (self.name, Route(prefix=prefix, as_path=(self.name,), learned_from=self.name))
+            )
+        for peer, table in self._rib_in.items():
+            route = table.route(prefix)
+            if route is None:
+                continue
+            if route.contains(self.name):
+                continue
+            if self.damping is not None and self.damping.is_suppressed(peer, prefix):
+                continue
+            candidates.append((peer, route))
+        return candidates
+
+    def _local_pref(self, peer: str, route: Route) -> int:
+        if peer == self.name:
+            return _SELF_ORIGINATED_PREF
+        return self.policy.local_pref(self.name, peer, route)
+
+    def _reselect(self, prefix: str, cause: Optional[RootCause]) -> bool:
+        """Re-run path selection; on change, record the cause and export.
+
+        Returns ``True`` when the Loc-RIB changed.
+        """
+        best = select_best(self._candidates(prefix), self._local_pref)
+        changed = self.loc_rib.set_route(prefix, best[1] if best else None)
+        if changed:
+            self.stats.best_path_changes += 1
+            self.last_best_change[prefix] = self.engine.now
+            self._current_cause[prefix] = cause
+            self._export(prefix)
+        return changed
+
+    def _on_reuse(self, peer: str, prefix: str) -> bool:
+        """Damping reuse-timer callback; returns True when noisy."""
+        entry = self.rib_in(peer).entry(prefix)
+        cause = entry.root_cause if entry is not None else None
+        return self._reselect(prefix, cause)
+
+    # ------------------------------------------------------------------
+    # export path
+    # ------------------------------------------------------------------
+
+    def _desired_announcement(self, peer: str, prefix: str) -> Optional[Route]:
+        """The route this router should currently be announcing to
+        ``peer`` for ``prefix``, or ``None`` (withdraw / nothing)."""
+        best = self.loc_rib.route(prefix)
+        if best is None:
+            return None
+        if best.learned_from == self.name:
+            announced_path = best.as_path  # self-originated, already starts with us
+        else:
+            announced_path = (self.name,) + best.as_path
+        if peer in announced_path:
+            return None  # sender-side loop prevention (covers learned-from peer)
+        if not self.policy.permits_export(self.name, best, peer):
+            return None
+        return Route(prefix=prefix, as_path=announced_path, learned_from=self.name)
+
+    def _export(self, prefix: str) -> None:
+        for peer in self.neighbors:
+            self._sync_peer(peer, prefix)
+
+    def _sync_peer(self, peer: str, prefix: str) -> None:
+        """Bring ``peer``'s Adj-RIB-Out in line with the Loc-RIB, sending
+        a withdrawal immediately or an announcement through MRAI."""
+        desired = self._desired_announcement(peer, prefix)
+        table = self.rib_out(peer)
+        current = table.announced_route(prefix)
+        if desired is None:
+            if current is None:
+                return
+            if self.config.mrai.apply_to_withdrawals and not self.mrai.may_send_now(peer):
+                self.mrai.defer(peer, prefix)
+                return
+            self._send_withdrawal(peer, prefix)
+            if self.config.mrai.apply_to_withdrawals:
+                self.mrai.note_sent(peer)
+            return
+        if current is not None and current.as_path == desired.as_path:
+            return
+        if not self.mrai.may_send_now(peer):
+            self.mrai.defer(peer, prefix)
+            return
+        self._send_announcement(peer, desired)
+        self.mrai.note_sent(peer)
+
+    def _mrai_flush(self, peer: str, prefixes: Set[str]) -> bool:
+        """MRAI expiry: re-evaluate each deferred prefix against current
+        state and send whatever delta remains. Returns True if anything
+        was sent (the limiter then restarts the timer)."""
+        table = self.rib_out(peer)
+        sent = False
+        for prefix in sorted(prefixes):
+            desired = self._desired_announcement(peer, prefix)
+            current = table.announced_route(prefix)
+            if desired is None:
+                if current is not None:
+                    self._send_withdrawal(peer, prefix)
+                    sent = True
+            elif current is None or current.as_path != desired.as_path:
+                self._send_announcement(peer, desired)
+                sent = True
+        return sent
+
+    def _send_announcement(self, peer: str, route: Route) -> None:
+        table = self.rib_out(peer)
+        entry = table.entry(route.prefix)
+        preference = compare_paths(entry.last_announced_length, route.path_length)
+        cause = self._current_cause.get(route.prefix) if self.config.attach_root_cause else None
+        update = UpdateMessage(
+            prefix=route.prefix,
+            as_path=route.as_path,
+            root_cause=cause,
+            preference=preference,
+        )
+        table.record_announcement(route.prefix, route)
+        self.stats.updates_sent += 1
+        self.stats.announcements_sent += 1
+        self.send(peer, update)
+
+    def _send_withdrawal(self, peer: str, prefix: str) -> None:
+        cause = self._current_cause.get(prefix) if self.config.attach_root_cause else None
+        update = UpdateMessage(prefix=prefix, as_path=None, root_cause=cause)
+        self.rib_out(peer).record_withdrawal(prefix)
+        self.stats.updates_sent += 1
+        self.stats.withdrawals_sent += 1
+        self.send(peer, update)
+
+    # ------------------------------------------------------------------
+    # session life cycle
+    # ------------------------------------------------------------------
+
+    def on_link_state(self, neighbor: str, up: bool) -> None:
+        """BGP session handling for a physical link event.
+
+        Down: every route learned from the neighbour becomes an implicit
+        withdrawal (optionally charged — see
+        :attr:`RouterConfig.charge_on_session_reset`), and the
+        Adj-RIB-Out for the neighbour is forgotten since the session's
+        state is gone. Up: the current Loc-RIB is re-advertised to the
+        neighbour, as a fresh session exchange would.
+
+        Damping state deliberately survives the session bounce: penalties
+        keep decaying and suppressed entries stay suppressed, exactly as
+        a real router's damping history does.
+        """
+        if up:
+            self._session_up(neighbor)
+        else:
+            self._session_down(neighbor)
+
+    def _session_down(self, peer: str) -> None:
+        table = self.rib_in(peer)
+        for prefix in table.prefixes():
+            entry = table.entry(prefix)
+            assert entry is not None
+            if entry.route is None:
+                continue
+            kind = table.classify(prefix, None)
+            table.apply(prefix, None, entry.root_cause)
+            if (
+                self.damping is not None
+                and kind is not None
+                and self.config.charge_on_session_reset
+            ):
+                self.damping.record_update(peer, prefix, kind)
+            self._reselect(prefix, entry.root_cause)
+        # The peer's view of us is gone with the session.
+        self._rib_out[peer] = AdjRibOut(peer)
+
+    def _session_up(self, peer: str) -> None:
+        for prefix, _ in list(self.loc_rib):
+            self._sync_peer(peer, prefix)
+
+    # ------------------------------------------------------------------
+    # experiment support
+    # ------------------------------------------------------------------
+
+    def reset_damping(self) -> None:
+        """Forget all accumulated penalties and suppressions.
+
+        Called by scenarios after the warm-up phase so that the measured
+        flapping episode starts from a clean damping state (the paper's
+        "every node learns a stable route" precondition). RIB contents,
+        the RCN history, and protocol counters are preserved.
+        """
+        if self.config.damping is not None:
+            self.damping = DampingManager(
+                self.engine, self.config.damping, self.name, self._on_reuse
+            )
+        self.selective_filter.clear()
+
+    def dump_state(self, prefix: Optional[str] = None) -> Dict[str, object]:
+        """Structured snapshot of this router's tables for one prefix (or
+        all prefixes when ``prefix`` is ``None``) — debugging, assertions,
+        and trace tooling.
+
+        The snapshot contains plain data only (names, path tuples,
+        floats), so it can be compared, serialised, or diffed freely.
+        """
+        prefixes: Set[str] = set()
+        if prefix is not None:
+            prefixes.add(prefix)
+        else:
+            prefixes.update(self.loc_rib.prefixes())
+            prefixes.update(self._originated)
+            for table in self._rib_in.values():
+                prefixes.update(table.prefixes())
+
+        now = self.engine.now
+        snapshot: Dict[str, object] = {
+            "router": self.name,
+            "time": now,
+            "prefixes": {},
+        }
+        for p in sorted(prefixes):
+            best = self.loc_rib.route(p)
+            rib_in: Dict[str, object] = {}
+            for peer, table in sorted(self._rib_in.items()):
+                entry = table.entry(p)
+                if entry is None:
+                    continue
+                rib_in[peer] = {
+                    "path": entry.route.as_path if entry.route else None,
+                    "ever_announced": entry.ever_announced,
+                    "suppressed": (
+                        self.damping.is_suppressed(peer, p)
+                        if self.damping is not None
+                        else False
+                    ),
+                    "penalty": (
+                        self.damping.penalty_value(peer, p, now)
+                        if self.damping is not None
+                        else 0.0
+                    ),
+                }
+            rib_out = {
+                peer: (route.as_path if route is not None else None)
+                for peer, table in sorted(self._rib_out.items())
+                for route in [table.announced_route(p)]
+            }
+            snapshot["prefixes"][p] = {  # type: ignore[index]
+                "best": best.as_path if best else None,
+                "originated": p in self._originated,
+                "rib_in": rib_in,
+                "rib_out": rib_out,
+            }
+        return snapshot
+
+    def suppressed_entry_count(self) -> int:
+        """Number of currently suppressed (peer, prefix) entries."""
+        if self.damping is None:
+            return 0
+        return len(self.damping.suppressed_entries())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flags = []
+        if self.config.damping_enabled:
+            flags.append("damping")
+        if self.config.rcn_enabled:
+            flags.append("rcn")
+        if self.config.selective_enabled:
+            flags.append("selective")
+        return f"BgpRouter({self.name!r}, {'+'.join(flags) or 'plain'})"

@@ -1,0 +1,176 @@
+"""Command-line interface.
+
+``rfd-repro`` (or ``python -m repro``) exposes the experiment drivers and
+an ad-hoc simulation runner::
+
+    rfd-repro list
+    rfd-repro run F8            # reproduce Figure 8 and print its table
+    rfd-repro run T1 F3 F7      # several experiments in one invocation
+    rfd-repro simulate --topology mesh --nodes 100 --pulses 3 --damping cisco
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.params import VENDOR_PRESETS
+from repro.experiments.registry import get_experiment, list_experiments
+from repro.metrics.report import render_table
+from repro.topology.internet import internet_topology
+from repro.topology.mesh import mesh_topology
+from repro.workload.scenarios import ScenarioConfig, run_episode
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rfd-repro",
+        description=(
+            "Reproduction of 'Timer Interaction in Route Flap Damping' "
+            "(ICDCS 2005)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run = sub.add_parser("run", help="run one or more experiments by id")
+    run.add_argument(
+        "experiments",
+        nargs="+",
+        help="experiment ids, e.g. F8 F9 T1 — or 'all' for every artefact",
+    )
+    run.add_argument(
+        "--csv-dir",
+        default=None,
+        help="also export each experiment's tables/series as CSV into this directory",
+    )
+
+    intended = sub.add_parser(
+        "intended", help="evaluate the Section 3 intended-behaviour model"
+    )
+    intended.add_argument("--pulses", type=int, default=10, help="max pulse count")
+    intended.add_argument("--interval", type=float, default=60.0, help="flap interval (s)")
+    intended.add_argument("--tup", type=float, default=30.0, help="normal convergence t_up (s)")
+    intended.add_argument(
+        "--vendor", choices=list(VENDOR_PRESETS), default="cisco"
+    )
+
+    sim = sub.add_parser("simulate", help="run a single ad-hoc episode")
+    sim.add_argument("--topology", choices=["mesh", "internet"], default="mesh")
+    sim.add_argument("--nodes", type=int, default=100, help="topology size")
+    sim.add_argument("--pulses", type=int, default=1, help="number of flap pulses")
+    sim.add_argument("--interval", type=float, default=60.0, help="flap interval (s)")
+    sim.add_argument(
+        "--damping",
+        choices=["off", *VENDOR_PRESETS],
+        default="cisco",
+        help="damping parameter preset (or off)",
+    )
+    sim.add_argument("--rcn", action="store_true", help="enable RCN-enhanced damping")
+    sim.add_argument("--seed", type=int, default=42)
+    return parser
+
+
+def _cmd_list() -> int:
+    for experiment_id in list_experiments():
+        driver = get_experiment(experiment_id)
+        doc = (driver.__doc__ or "").strip().splitlines()
+        summary = doc[0] if doc else ""
+        print(f"{experiment_id:>4}  {summary}")
+    return 0
+
+
+def _cmd_run(experiment_ids: List[str], csv_dir: Optional[str]) -> int:
+    if any(eid.lower() == "all" for eid in experiment_ids):
+        experiment_ids = list_experiments()
+    for experiment_id in experiment_ids:
+        driver = get_experiment(experiment_id)
+        result = driver()
+        print(result.render())
+        if csv_dir is not None:
+            from repro.experiments.export import export_result
+
+            written = export_result(result, csv_dir)
+            for path in written:
+                print(f"wrote {path}")
+        print()
+    return 0
+
+
+def _cmd_intended(args: argparse.Namespace) -> int:
+    from repro.core.intended import IntendedBehaviorModel
+
+    params = VENDOR_PRESETS[args.vendor]
+    model = IntendedBehaviorModel(params, flap_interval=args.interval, tup=args.tup)
+    rows = []
+    for n in range(0, args.pulses + 1):
+        prediction = model.predict(n)
+        rows.append(
+            [
+                n,
+                round(prediction.penalty_at_final, 1),
+                "yes" if prediction.suppressed else "no",
+                prediction.suppression_pulse if prediction.suppression_pulse else "-",
+                round(prediction.reuse_delay, 1),
+                round(prediction.convergence_time, 1),
+            ]
+        )
+    print(
+        render_table(
+            ["pulses", "penalty", "suppressed", "onset", "reuse_delay_s", "convergence_s"],
+            rows,
+            title=(
+                f"intended behaviour ({args.vendor}, interval {args.interval:.0f}s, "
+                f"t_up {args.tup:.0f}s)"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    if args.topology == "mesh":
+        side = max(2, round(args.nodes ** 0.5))
+        topology = mesh_topology(side, side)
+    else:
+        topology = internet_topology(args.nodes, seed=7)
+    damping = None if args.damping == "off" else VENDOR_PRESETS[args.damping]
+    config = ScenarioConfig(
+        topology=topology, damping=damping, rcn=args.rcn, seed=args.seed
+    )
+    result = run_episode(config, args.pulses, args.interval)
+    headers = ["metric", "value"]
+    rows = [
+        ["topology", topology.name],
+        ["pulses", args.pulses],
+        ["flap interval (s)", args.interval],
+        ["damping", args.damping + (" + RCN" if args.rcn else "")],
+        ["warm-up convergence (s)", round(result.warmup_convergence, 1)],
+        ["convergence time (s)", round(result.convergence_time, 1)],
+        ["message count", result.message_count],
+        ["suppressions", result.summary.total_suppressions],
+        ["peak damped links", result.summary.peak_damped_links],
+        ["noisy / silent reuses", f"{result.summary.noisy_reuses} / {result.summary.silent_reuses}"],
+        ["secondary charges", result.summary.secondary_charges],
+    ]
+    print(render_table(headers, rows, title="simulation result"))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args.experiments, args.csv_dir)
+    if args.command == "intended":
+        return _cmd_intended(args)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    return 1  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""The paper's primary contribution: route flap damping, its analytical
+"intended behaviour" model, RCN-enhanced damping, and the four-state
+classification of network-wide damping dynamics.
+
+Public surface:
+
+- :class:`DampingParams` with :data:`CISCO_DEFAULTS` / :data:`JUNIPER_DEFAULTS`
+  (the paper's Table 1),
+- :class:`PenaltyState` — lazy exponential-decay penalty bookkeeping,
+- :class:`DampingManager` — per-router suppression/reuse state machine,
+- :class:`RootCause` / :class:`RootCauseHistory` — RCN filtering,
+- :class:`SelectiveDampingFilter` — the Mao et al. comparator,
+- :mod:`repro.core.intended` — Section 3 closed-form model,
+- :mod:`repro.core.states` — charging/suppression/releasing/converged
+  classification of a finished run.
+"""
+
+from repro.core.damping import DampingManager, ReuseEvent, SuppressionRecord
+from repro.core.intended import IntendedBehaviorModel, IntendedPrediction
+from repro.core.params import (
+    CISCO_DEFAULTS,
+    JUNIPER_DEFAULTS,
+    DampingParams,
+    UpdateKind,
+)
+from repro.core.penalty import PenaltyState
+from repro.core.rcn import RootCause, RootCauseHistory
+from repro.core.selective import SelectiveDampingFilter
+from repro.core.states import DampingPhase, PhaseInterval, classify_phases
+
+__all__ = [
+    "CISCO_DEFAULTS",
+    "JUNIPER_DEFAULTS",
+    "DampingManager",
+    "DampingParams",
+    "DampingPhase",
+    "IntendedBehaviorModel",
+    "IntendedPrediction",
+    "PenaltyState",
+    "PhaseInterval",
+    "ReuseEvent",
+    "RootCause",
+    "RootCauseHistory",
+    "SelectiveDampingFilter",
+    "SuppressionRecord",
+    "UpdateKind",
+    "classify_phases",
+]

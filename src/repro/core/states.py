@@ -1,0 +1,177 @@
+"""Four-state classification of a network-wide damping episode.
+
+Section 4.1 of the paper describes the states a damping network moves
+through: **charging** (updates propagate and charge penalties),
+**suppression** (quiet, but at least one noisy reuse timer pending),
+**releasing** (reuse expirations trigger update waves), and **converged**.
+
+The classifier works post-hoc on a finished run: it groups observed
+update-delivery times into *bursts* separated by quiet gaps, labels the
+burst(s) overlapping the flap window as charging, quiet gaps with
+suppressed entries as suppression, later bursts as releasing, and the
+tail as converged. The paper notes these states "may not be clearly
+separated" in a large network; the classifier is a best-effort
+segmentation used for annotating Figure 10-style plots and for
+integration-test assertions.
+"""
+
+from __future__ import annotations
+
+import bisect
+import enum
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+
+class DampingPhase(enum.Enum):
+    """One of the paper's four network-wide damping states."""
+
+    CHARGING = "charging"
+    SUPPRESSION = "suppression"
+    RELEASING = "releasing"
+    CONVERGED = "converged"
+
+
+@dataclass(frozen=True)
+class PhaseInterval:
+    """A labelled ``[start, end)`` span of simulated time."""
+
+    phase: DampingPhase
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+def _group_bursts(times: Sequence[float], gap: float) -> List[Tuple[float, float]]:
+    """Group sorted event times into (start, end) bursts separated by more
+    than ``gap`` seconds of silence."""
+    bursts: List[Tuple[float, float]] = []
+    start: Optional[float] = None
+    prev: Optional[float] = None
+    for t in times:
+        if start is None:
+            start = prev = t
+            continue
+        assert prev is not None
+        if t - prev > gap:
+            bursts.append((start, prev))
+            start = t
+        prev = t
+    if start is not None and prev is not None:
+        bursts.append((start, prev))
+    return bursts
+
+
+def suppressed_count_function(
+    changes: Sequence[Tuple[float, int]],
+) -> Callable[[float], int]:
+    """Build ``count(t)`` from suppression-change deltas.
+
+    ``changes`` is a time-ordered sequence of ``(time, delta)`` where
+    delta is +1 when an entry becomes suppressed and -1 when it is reused.
+    Returns a function giving the number of suppressed entries at any
+    time.
+    """
+    times: List[float] = []
+    counts: List[int] = []
+    running = 0
+    for time, delta in changes:
+        running += delta
+        times.append(time)
+        counts.append(running)
+    def count_at(t: float) -> int:
+        idx = bisect.bisect_right(times, t) - 1
+        return counts[idx] if idx >= 0 else 0
+    return count_at
+
+
+def classify_phases(
+    update_times: Sequence[float],
+    flap_times: Sequence[float],
+    end_time: float,
+    suppressed_count_at: Optional[Callable[[float], int]] = None,
+    gap: float = 60.0,
+) -> List[PhaseInterval]:
+    """Segment a run into charging / suppression / releasing / converged.
+
+    Parameters
+    ----------
+    update_times:
+        Sorted delivery times of every update observed in the network.
+    flap_times:
+        Times of the origin's flap events (withdrawals and announcements).
+    end_time:
+        End of the observation window (e.g. simulation drain time).
+    suppressed_count_at:
+        Optional ``count(t)`` giving the number of suppressed entries at
+        time ``t`` (see :func:`suppressed_count_function`). Quiet gaps
+        with a zero count are classified as converged rather than
+        suppression.
+    gap:
+        Silence longer than this separates bursts (seconds).
+    """
+    if not update_times:
+        start = min(flap_times) if flap_times else 0.0
+        return [PhaseInterval(DampingPhase.CONVERGED, start, end_time)]
+
+    times = sorted(update_times)
+    bursts = _group_bursts(times, gap)
+    last_flap = max(flap_times) if flap_times else times[0]
+
+    # Merge every burst that begins during the flap window (plus one gap of
+    # slack for the final pulse's exploration) into the charging phase.
+    charging_end = bursts[0][1]
+    releasing_bursts: List[Tuple[float, float]] = []
+    for burst_start, burst_end in bursts:
+        if burst_start <= last_flap + gap or burst_start <= charging_end + gap:
+            charging_end = max(charging_end, burst_end)
+        else:
+            releasing_bursts.append((burst_start, burst_end))
+
+    intervals: List[PhaseInterval] = []
+    charging_start = min(times[0], flap_times[0]) if flap_times else times[0]
+    intervals.append(PhaseInterval(DampingPhase.CHARGING, charging_start, charging_end))
+
+    cursor = charging_end
+    for burst_start, burst_end in releasing_bursts:
+        quiet_phase = DampingPhase.SUPPRESSION
+        if suppressed_count_at is not None:
+            midpoint = (cursor + burst_start) / 2.0
+            if suppressed_count_at(midpoint) == 0:
+                quiet_phase = DampingPhase.CONVERGED
+        intervals.append(PhaseInterval(quiet_phase, cursor, burst_start))
+        intervals.append(PhaseInterval(DampingPhase.RELEASING, burst_start, burst_end))
+        cursor = burst_end
+
+    if cursor < end_time:
+        intervals.append(PhaseInterval(DampingPhase.CONVERGED, cursor, end_time))
+    return intervals
+
+
+def phase_durations(intervals: Sequence[PhaseInterval]) -> dict:
+    """Total seconds spent in each phase across ``intervals``."""
+    totals = {phase: 0.0 for phase in DampingPhase}
+    for interval in intervals:
+        totals[interval.phase] += interval.duration
+    return totals
+
+
+def releasing_fraction(intervals: Sequence[PhaseInterval]) -> float:
+    """Fraction of the non-converged timeline spent releasing.
+
+    The paper reports the releasing period accounts for ~70% of the total
+    convergence time after a single pulse; this helper computes the same
+    ratio from a classified run.
+    """
+    durations = phase_durations(intervals)
+    active = (
+        durations[DampingPhase.CHARGING]
+        + durations[DampingPhase.SUPPRESSION]
+        + durations[DampingPhase.RELEASING]
+    )
+    if active <= 0:
+        return 0.0
+    return durations[DampingPhase.RELEASING] / active

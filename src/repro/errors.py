@@ -1,0 +1,37 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch the whole family with one
+``except`` clause while still distinguishing configuration mistakes from
+runtime protocol violations.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """A user-supplied configuration value is invalid or inconsistent."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine was driven into an invalid state."""
+
+
+class TimerError(SimulationError):
+    """A timer was started, cancelled, or fired in an invalid state."""
+
+
+class TopologyError(ReproError):
+    """A topology could not be constructed or violates an invariant."""
+
+
+class ProtocolError(ReproError):
+    """A BGP message or RIB operation violated protocol invariants."""
+
+
+class ExperimentError(ReproError):
+    """An experiment driver was misconfigured or produced no result."""

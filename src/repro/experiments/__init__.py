@@ -1,0 +1,34 @@
+"""Experiment drivers — one per table/figure of the paper, plus the
+tech-report-style ablations. Each driver returns an
+:class:`~repro.experiments.base.ExperimentResult` whose ``render()``
+prints the same rows/series the paper reports; the benchmark harness
+under ``benchmarks/`` simply invokes these drivers.
+"""
+
+from repro.experiments.base import (
+    ExperimentResult,
+    SweepPoint,
+    SweepSeries,
+    default_pulse_counts,
+    internet100_config,
+    internet208_config,
+    mesh100_config,
+    run_sweep,
+    small_mesh_config,
+)
+from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "SweepPoint",
+    "SweepSeries",
+    "default_pulse_counts",
+    "get_experiment",
+    "internet100_config",
+    "internet208_config",
+    "list_experiments",
+    "mesh100_config",
+    "run_sweep",
+    "small_mesh_config",
+]

@@ -1,0 +1,203 @@
+"""Shared experiment machinery: standard configurations, pulse-count
+sweeps, and the result container the benchmark harness renders."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.params import CISCO_DEFAULTS, DampingParams
+from repro.errors import ExperimentError
+from repro.metrics.report import render_table
+from repro.topology.internet import internet_topology
+from repro.topology.mesh import mesh_topology
+from repro.topology.model import Topology
+from repro.workload.pulses import PulseSchedule
+from repro.workload.scenarios import FlapRunResult, Scenario, ScenarioConfig
+
+#: The paper sweeps 0..10 pulses on its figures' x-axes.
+DEFAULT_PULSE_COUNTS = tuple(range(0, 11))
+
+#: Seed used by the standard experiments (any fixed value reproduces).
+DEFAULT_SEED = 42
+
+
+def default_pulse_counts() -> List[int]:
+    return list(DEFAULT_PULSE_COUNTS)
+
+
+# ----------------------------------------------------------------------
+# standard configurations (paper Section 5.1)
+# ----------------------------------------------------------------------
+
+_TOPOLOGY_CACHE: Dict[str, Topology] = {}
+
+
+def _cached(name: str, build: Callable[[], Topology]) -> Topology:
+    if name not in _TOPOLOGY_CACHE:
+        _TOPOLOGY_CACHE[name] = build()
+    return _TOPOLOGY_CACHE[name]
+
+
+def mesh100_config(
+    damping: Optional[DampingParams] = CISCO_DEFAULTS,
+    rcn: bool = False,
+    selective: bool = False,
+    seed: int = DEFAULT_SEED,
+    damping_fraction: float = 1.0,
+) -> ScenarioConfig:
+    """The paper's main setup: 100-node mesh (10×10 torus), Cisco
+    defaults, damping at all nodes."""
+    return ScenarioConfig(
+        topology=_cached("mesh100", lambda: mesh_topology(10, 10)),
+        damping=damping,
+        rcn=rcn,
+        selective=selective,
+        seed=seed,
+        damping_fraction=damping_fraction,
+    )
+
+
+def internet100_config(
+    damping: Optional[DampingParams] = CISCO_DEFAULTS,
+    rcn: bool = False,
+    seed: int = DEFAULT_SEED,
+) -> ScenarioConfig:
+    """100-node Internet-derived topology (long-tailed degrees)."""
+    return ScenarioConfig(
+        topology=_cached("internet100", lambda: internet_topology(100, seed=7)),
+        damping=damping,
+        rcn=rcn,
+        seed=seed,
+    )
+
+
+def internet208_config(
+    damping: Optional[DampingParams] = CISCO_DEFAULTS,
+    use_no_valley: bool = False,
+    seed: int = DEFAULT_SEED,
+) -> ScenarioConfig:
+    """208-node Internet-derived topology with relationships (Figure 15)."""
+    return ScenarioConfig(
+        topology=_cached(
+            "internet208",
+            lambda: internet_topology(208, seed=7, with_relationships=True),
+        ),
+        damping=damping,
+        use_no_valley=use_no_valley,
+        seed=seed,
+    )
+
+
+def small_mesh_config(
+    damping: Optional[DampingParams] = CISCO_DEFAULTS,
+    rcn: bool = False,
+    seed: int = DEFAULT_SEED,
+) -> ScenarioConfig:
+    """A 5×5 mesh for fast tests and the quickstart example."""
+    return ScenarioConfig(
+        topology=_cached("mesh25", lambda: mesh_topology(5, 5)),
+        damping=damping,
+        rcn=rcn,
+        seed=seed,
+    )
+
+
+# ----------------------------------------------------------------------
+# sweeps
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (pulse count → metrics) data point of a figure series."""
+
+    pulses: int
+    convergence_time: float
+    message_count: int
+    suppressions: int
+    peak_damped_links: int
+    secondary_charges: int
+    warmup_convergence: float
+
+
+@dataclass
+class SweepSeries:
+    """One labelled series of a figure (e.g. "Full Damping (mesh)")."""
+
+    label: str
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def convergence(self) -> List[tuple]:
+        return [(p.pulses, p.convergence_time) for p in self.points]
+
+    def messages(self) -> List[tuple]:
+        return [(p.pulses, p.message_count) for p in self.points]
+
+    def point(self, pulses: int) -> SweepPoint:
+        for p in self.points:
+            if p.pulses == pulses:
+                return p
+        raise ExperimentError(f"series {self.label!r} has no point for n={pulses}")
+
+    @property
+    def mean_warmup(self) -> float:
+        if not self.points:
+            return 0.0
+        return sum(p.warmup_convergence for p in self.points) / len(self.points)
+
+
+def run_point(config: ScenarioConfig, pulses: int, flap_interval: float = 60.0) -> FlapRunResult:
+    """Build a fresh scenario and run one episode."""
+    scenario = Scenario(config)
+    scenario.warm_up()
+    return scenario.run(PulseSchedule.regular(pulses, flap_interval))
+
+
+def run_sweep(
+    label: str,
+    config: ScenarioConfig,
+    pulse_counts: Sequence[int],
+    flap_interval: float = 60.0,
+) -> SweepSeries:
+    """Run one episode per pulse count with a fresh scenario each time."""
+    series = SweepSeries(label=label)
+    for pulses in pulse_counts:
+        result = run_point(config, pulses, flap_interval)
+        series.points.append(
+            SweepPoint(
+                pulses=pulses,
+                convergence_time=result.convergence_time,
+                message_count=result.message_count,
+                suppressions=result.summary.total_suppressions,
+                peak_damped_links=result.summary.peak_damped_links,
+                secondary_charges=result.summary.secondary_charges,
+                warmup_convergence=result.warmup_convergence,
+            )
+        )
+    return series
+
+
+# ----------------------------------------------------------------------
+# results
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ExperimentResult:
+    """A rendered experiment: identity, headline table(s), raw data."""
+
+    experiment_id: str
+    title: str
+    headers: List[str]
+    rows: List[List[object]]
+    notes: List[str] = field(default_factory=list)
+    extra_sections: List[str] = field(default_factory=list)
+    data: Dict[str, object] = field(default_factory=dict)
+
+    def render(self) -> str:
+        parts = [render_table(self.headers, self.rows, title=f"{self.experiment_id}: {self.title}")]
+        parts.extend(self.extra_sections)
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n\n".join(parts)

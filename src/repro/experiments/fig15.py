@@ -1,0 +1,93 @@
+"""Figure 15 — impact of routing policy on damping dynamics.
+
+On a 208-node Internet-derived topology with customer-provider and
+peer-peer relationships, the paper compares convergence time under the
+no-valley routing policy against shortest-path ("no policy") and the
+intended calculation. Policy prunes alternate paths, which reduces the
+number of routers that turn on false suppression, reduces secondary
+charging, and moves convergence toward — but not onto — the intended
+curve.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.intended import IntendedBehaviorModel
+from repro.core.params import CISCO_DEFAULTS
+from repro.experiments.base import (
+    DEFAULT_SEED,
+    ExperimentResult,
+    SweepSeries,
+    default_pulse_counts,
+    internet208_config,
+    run_sweep,
+)
+
+
+def run_fig15_sweeps(
+    pulse_counts: Optional[Sequence[int]] = None,
+    flap_interval: float = 60.0,
+    seed: int = DEFAULT_SEED,
+) -> Dict[str, SweepSeries]:
+    counts = list(pulse_counts) if pulse_counts is not None else default_pulse_counts()
+    return {
+        "with_policy": run_sweep(
+            "With Policy (no-valley)",
+            internet208_config(use_no_valley=True, seed=seed),
+            counts,
+            flap_interval,
+        ),
+        "no_policy": run_sweep(
+            "No policy (shortest path)",
+            internet208_config(use_no_valley=False, seed=seed),
+            counts,
+            flap_interval,
+        ),
+    }
+
+
+def fig15_experiment(
+    pulse_counts: Optional[Sequence[int]] = None,
+    sweeps: Optional[Dict[str, SweepSeries]] = None,
+    flap_interval: float = 60.0,
+) -> ExperimentResult:
+    """Figure 15: convergence time with and without routing policy."""
+    counts = list(pulse_counts) if pulse_counts is not None else default_pulse_counts()
+    if sweeps is None:
+        sweeps = run_fig15_sweeps(counts, flap_interval)
+
+    tup = sweeps["with_policy"].mean_warmup
+    model = IntendedBehaviorModel(CISCO_DEFAULTS, flap_interval=flap_interval, tup=tup)
+    calc = {n: model.predict(n).convergence_time for n in counts}
+
+    rows: List[List[object]] = []
+    for n in counts:
+        rows.append(
+            [
+                n,
+                round(sweeps["with_policy"].point(n).convergence_time, 1),
+                round(sweeps["no_policy"].point(n).convergence_time, 1),
+                round(calc[n], 1),
+                sweeps["with_policy"].point(n).suppressions,
+                sweeps["no_policy"].point(n).suppressions,
+            ]
+        )
+    return ExperimentResult(
+        experiment_id="F15",
+        title="Impact of Policy (208-node Internet-derived topology)",
+        headers=[
+            "pulses",
+            "With Policy",
+            "No policy",
+            "Intended (calculation)",
+            "supp_policy",
+            "supp_nopolicy",
+        ],
+        rows=rows,
+        notes=[
+            "no-valley policy reduces false suppression and moves convergence "
+            "toward (but not onto) the intended behaviour",
+        ],
+        data={"sweeps": sweeps, "calculation": calc, "pulse_counts": counts},
+    )

@@ -1,0 +1,174 @@
+"""Figures 8 and 9 — convergence time and message count vs pulse count.
+
+The paper's headline figures: four series over n = 0..10 pulses,
+
+- *No Damping (simulation, mesh)* — short convergence, message count
+  growing linearly with n,
+- *Full Damping (simulation, mesh)* — convergence far above the intended
+  curve for small n (path exploration + secondary charging), snapping
+  onto the intended curve past the critical point ``Nh``,
+- *Full Damping (simulation, Internet)* — same trend on the
+  Internet-derived topology,
+- *Full Damping (calculation)* — Section 3's intended behaviour.
+
+One sweep produces both figures; :func:`fig8_experiment` renders the
+convergence-time table, :func:`fig9_experiment` the message-count table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.intended import IntendedBehaviorModel
+from repro.core.params import CISCO_DEFAULTS
+from repro.experiments.base import (
+    DEFAULT_SEED,
+    ExperimentResult,
+    SweepSeries,
+    default_pulse_counts,
+    internet100_config,
+    mesh100_config,
+    run_sweep,
+)
+
+
+def run_fig8_9_sweeps(
+    pulse_counts: Optional[Sequence[int]] = None,
+    flap_interval: float = 60.0,
+    seed: int = DEFAULT_SEED,
+    include_internet: bool = True,
+) -> Dict[str, SweepSeries]:
+    """Run the three simulated series; the calculation series is free."""
+    counts = list(pulse_counts) if pulse_counts is not None else default_pulse_counts()
+    sweeps: Dict[str, SweepSeries] = {}
+    sweeps["no_damping_mesh"] = run_sweep(
+        "No Damping (simulation, mesh)",
+        mesh100_config(damping=None, seed=seed),
+        counts,
+        flap_interval,
+    )
+    sweeps["full_damping_mesh"] = run_sweep(
+        "Full Damping (simulation, mesh)",
+        mesh100_config(seed=seed),
+        counts,
+        flap_interval,
+    )
+    if include_internet:
+        sweeps["full_damping_internet"] = run_sweep(
+            "Full Damping (simulation, Internet)",
+            internet100_config(seed=seed),
+            counts,
+            flap_interval,
+        )
+    return sweeps
+
+
+def calculation_series(
+    pulse_counts: Sequence[int], tup: float, flap_interval: float = 60.0
+) -> List[tuple]:
+    """The 'Full Damping (calculation)' series of Figure 8."""
+    model = IntendedBehaviorModel(CISCO_DEFAULTS, flap_interval=flap_interval, tup=tup)
+    return [(n, model.predict(n).convergence_time) for n in pulse_counts]
+
+
+def _build_result(
+    experiment_id: str,
+    title: str,
+    value_header: str,
+    sweeps: Dict[str, SweepSeries],
+    pulse_counts: Sequence[int],
+    metric: str,
+    include_calculation: bool,
+    flap_interval: float,
+) -> ExperimentResult:
+    headers = ["pulses"] + [series.label for series in sweeps.values()]
+    calc: Dict[int, float] = {}
+    if include_calculation:
+        tup = sweeps["no_damping_mesh"].mean_warmup
+        calc = dict(calculation_series(pulse_counts, tup, flap_interval))
+        headers.append("Full Damping (calculation)")
+    rows: List[List[object]] = []
+    for n in pulse_counts:
+        row: List[object] = [n]
+        for series in sweeps.values():
+            point = series.point(n)
+            row.append(getattr(point, metric))
+        if include_calculation:
+            row.append(round(calc[n], 1))
+        rows.append(row)
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=title,
+        headers=headers,
+        rows=rows,
+        notes=[f"values are {value_header}"],
+        data={"sweeps": sweeps, "calculation": calc, "pulse_counts": list(pulse_counts)},
+    )
+
+
+def fig8_experiment(
+    pulse_counts: Optional[Sequence[int]] = None,
+    sweeps: Optional[Dict[str, SweepSeries]] = None,
+    flap_interval: float = 60.0,
+    include_internet: bool = True,
+) -> ExperimentResult:
+    """Figure 8: convergence time vs number of pulses."""
+    counts = list(pulse_counts) if pulse_counts is not None else default_pulse_counts()
+    if sweeps is None:
+        sweeps = run_fig8_9_sweeps(counts, flap_interval, include_internet=include_internet)
+    return _build_result(
+        "F8",
+        "Convergence Time vs Number of Pulses",
+        "seconds from the origin's final announcement to the last update",
+        sweeps,
+        counts,
+        "convergence_time",
+        include_calculation=True,
+        flap_interval=flap_interval,
+    )
+
+
+def fig9_experiment(
+    pulse_counts: Optional[Sequence[int]] = None,
+    sweeps: Optional[Dict[str, SweepSeries]] = None,
+    flap_interval: float = 60.0,
+    include_internet: bool = True,
+) -> ExperimentResult:
+    """Figure 9: message count vs number of pulses."""
+    counts = list(pulse_counts) if pulse_counts is not None else default_pulse_counts()
+    if sweeps is None:
+        sweeps = run_fig8_9_sweeps(counts, flap_interval, include_internet=include_internet)
+    return _build_result(
+        "F9",
+        "Message Count vs Number of Pulses",
+        "total updates observed in the network from the first flap",
+        sweeps,
+        counts,
+        "message_count",
+        include_calculation=False,
+        flap_interval=flap_interval,
+    )
+
+
+def critical_pulse_count(sweeps: Dict[str, SweepSeries], tolerance: float = 0.15) -> Optional[int]:
+    """The measured ``Nh``: smallest n from which the full-damping mesh
+    convergence stays within ``tolerance`` (relative) of the calculation."""
+    mesh = sweeps["full_damping_mesh"]
+    counts = [p.pulses for p in mesh.points]
+    tup = sweeps["no_damping_mesh"].mean_warmup
+    calc = dict(calculation_series(counts, tup))
+    for start_index, n_start in enumerate(counts):
+        if n_start == 0:
+            continue
+        ok = True
+        for n in counts[start_index:]:
+            expected = calc[n]
+            measured = mesh.point(n).convergence_time
+            if expected <= 0:
+                continue
+            if abs(measured - expected) / expected > tolerance:
+                ok = False
+                break
+        if ok:
+            return n_start
+    return None

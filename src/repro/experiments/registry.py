@@ -1,0 +1,64 @@
+"""Registry mapping experiment ids to driver callables (used by the CLI
+and the benchmark harness)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import ExperimentError
+from repro.experiments.ablations import (
+    distance_profile_experiment,
+    heterogeneous_params_experiment,
+    isp_placement_experiment,
+    flap_interval_experiment,
+    flap_pattern_experiment,
+    mrai_withdrawal_experiment,
+    partial_deployment_experiment,
+    selective_damping_experiment,
+    sensitivity_experiment,
+    vendor_params_experiment,
+)
+from repro.experiments.base import ExperimentResult
+from repro.experiments.fig3 import fig3_experiment
+from repro.experiments.fig7 import fig7_experiment
+from repro.experiments.fig8_9 import fig8_experiment, fig9_experiment
+from repro.experiments.fig10 import fig10_experiment
+from repro.experiments.fig13_14 import fig13_experiment, fig14_experiment
+from repro.experiments.fig15 import fig15_experiment
+from repro.experiments.table1 import table1_experiment
+
+#: Experiment id → zero-argument driver returning an ExperimentResult.
+EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
+    "T1": table1_experiment,
+    "F3": fig3_experiment,
+    "F7": fig7_experiment,
+    "F8": fig8_experiment,
+    "F9": fig9_experiment,
+    "F10": fig10_experiment,
+    "F13": fig13_experiment,
+    "F14": fig14_experiment,
+    "F15": fig15_experiment,
+    "X1": flap_interval_experiment,
+    "X2": partial_deployment_experiment,
+    "X3": vendor_params_experiment,
+    "X4": selective_damping_experiment,
+    "X5": flap_pattern_experiment,
+    "X6": mrai_withdrawal_experiment,
+    "X7": sensitivity_experiment,
+    "X8": distance_profile_experiment,
+    "X9": heterogeneous_params_experiment,
+    "X10": isp_placement_experiment,
+}
+
+
+def list_experiments() -> List[str]:
+    return list(EXPERIMENTS)
+
+
+def get_experiment(experiment_id: str) -> Callable[[], ExperimentResult]:
+    key = experiment_id.upper()
+    if key not in EXPERIMENTS:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; available: {', '.join(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[key]

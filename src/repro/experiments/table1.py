@@ -1,0 +1,40 @@
+"""Table 1 — default damping parameters of the two major vendors."""
+
+from __future__ import annotations
+
+from repro.core.params import CISCO_DEFAULTS, JUNIPER_DEFAULTS
+from repro.experiments.base import ExperimentResult
+
+#: (row label, attribute accessor) pairs in the paper's row order.
+_ROWS = [
+    ("Withdrawal Penalty (P_W)", lambda p: p.withdrawal_penalty),
+    ("Re-announcement Penalty (P_A)", lambda p: p.reannouncement_penalty),
+    ("Attributes Change Penalty", lambda p: p.attribute_change_penalty),
+    ("Cut-off Threshold (P_cut)", lambda p: p.cutoff_threshold),
+    ("Half Life (minute) (H)", lambda p: p.half_life / 60.0),
+    ("Reuse Threshold (P_reuse)", lambda p: p.reuse_threshold),
+    ("Max Hold-down Time (minute)", lambda p: p.max_hold_down / 60.0),
+]
+
+
+def table1_experiment() -> ExperimentResult:
+    """Render Table 1 and the derived quantities the library computes."""
+    rows = [
+        [label, accessor(CISCO_DEFAULTS), accessor(JUNIPER_DEFAULTS)]
+        for label, accessor in _ROWS
+    ]
+    notes = [
+        f"derived: decay constant lambda = {CISCO_DEFAULTS.decay_constant:.6f} /s "
+        f"(half-life {CISCO_DEFAULTS.half_life / 60:.0f} min)",
+        f"derived: Cisco penalty ceiling = {CISCO_DEFAULTS.penalty_ceiling:.0f} "
+        f"(caps suppression at {CISCO_DEFAULTS.max_hold_down / 60:.0f} min)",
+        f"derived: Juniper penalty ceiling = {JUNIPER_DEFAULTS.penalty_ceiling:.0f}",
+    ]
+    return ExperimentResult(
+        experiment_id="T1",
+        title="Default Damping Parameters",
+        headers=["Damping Parameters", "Cisco", "Juniper"],
+        rows=rows,
+        notes=notes,
+        data={"cisco": CISCO_DEFAULTS.describe(), "juniper": JUNIPER_DEFAULTS.describe()},
+    )

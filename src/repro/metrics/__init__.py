@@ -1,0 +1,18 @@
+"""Instrumentation: the paper's two headline metrics (convergence time,
+message count) plus the time series its figures plot (update counts in
+5-second bins, damped-link counts, penalty traces, silent/noisy reuse
+classification)."""
+
+from repro.metrics.collector import MetricsCollector, UpdateRecord
+from repro.metrics.convergence import ConvergenceSummary, summarize_convergence
+from repro.metrics.series import bin_counts, step_series_at, to_step_series
+
+__all__ = [
+    "ConvergenceSummary",
+    "MetricsCollector",
+    "UpdateRecord",
+    "bin_counts",
+    "step_series_at",
+    "summarize_convergence",
+    "to_step_series",
+]

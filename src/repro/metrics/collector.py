@@ -1,0 +1,188 @@
+"""The metrics collector.
+
+One :class:`MetricsCollector` observes a whole simulation: it hooks the
+network's message-delivery path (the paper counts "the total number of
+updates observed in the network"), and each damping router's
+suppression-state changes (the paper's "damped link count" — a node
+suppressing routes from a neighbour counts as one damped link).
+
+The collector is attached at the start of the *measured* episode — after
+warm-up — so warm-up traffic never pollutes the metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.bgp.messages import UpdateMessage
+from repro.bgp.router import BgpRouter
+from repro.core.damping import ReuseEvent
+from repro.net.message import Message
+from repro.net.network import Network
+from repro.metrics.series import bin_counts, step_series_at, to_step_series
+
+
+@dataclass(frozen=True)
+class UpdateRecord:
+    """One observed update delivery."""
+
+    time: float
+    src: str
+    dst: str
+    is_withdrawal: bool
+    prefix: str = ""
+
+
+class MetricsCollector:
+    """Network-wide observation of one simulation episode."""
+
+    def __init__(self) -> None:
+        self.updates: List[UpdateRecord] = []
+        #: Time-ordered ``(time, delta, router, peer)`` suppression changes
+        #: (+1 on suppress, -1 on reuse).
+        self.suppression_changes: List[Tuple[float, int, str, str]] = []
+        self._routers: List[BgpRouter] = []
+        self._attached = False
+        self.attach_time: float = 0.0
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+
+    def attach(self, network: Network, routers: Iterable[BgpRouter]) -> None:
+        """Start observing ``network`` and the given routers' damping."""
+        if self._attached:
+            raise RuntimeError("collector already attached")
+        self._attached = True
+        self.attach_time = network.engine.now
+        network.add_delivery_hook(self._on_delivery)
+        for router in routers:
+            self._routers.append(router)
+            if router.damping is not None:
+                router.damping.suppression_observers.append(
+                    self._make_suppression_observer(router.name)
+                )
+
+    def _make_suppression_observer(self, router_name: str):
+        def observer(time: float, peer: str, prefix: str, suppressed: bool) -> None:
+            del prefix
+            delta = 1 if suppressed else -1
+            self.suppression_changes.append((time, delta, router_name, peer))
+
+        return observer
+
+    def _on_delivery(self, message: Message) -> None:
+        payload = message.payload
+        if not isinstance(payload, UpdateMessage):
+            return
+        assert message.delivered_at is not None
+        self.updates.append(
+            UpdateRecord(
+                time=message.delivered_at,
+                src=message.src,
+                dst=message.dst,
+                is_withdrawal=payload.is_withdrawal,
+                prefix=payload.prefix,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # headline metrics
+    # ------------------------------------------------------------------
+
+    @property
+    def message_count(self) -> int:
+        """Total updates observed (the paper's message-count metric)."""
+        return len(self.updates)
+
+    @property
+    def update_times(self) -> List[float]:
+        return [u.time for u in self.updates]
+
+    @property
+    def last_update_time(self) -> Optional[float]:
+        if not self.updates:
+            return None
+        return self.updates[-1].time
+
+    def convergence_time(self, reference_time: float) -> float:
+        """Seconds from ``reference_time`` (the origin's final
+        announcement) to the last observed update."""
+        last = self.last_update_time
+        if last is None or last <= reference_time:
+            return 0.0
+        return last - reference_time
+
+    def updates_after(self, time: float) -> int:
+        return sum(1 for u in self.updates if u.time >= time)
+
+    # ------------------------------------------------------------------
+    # figure series
+    # ------------------------------------------------------------------
+
+    def update_series(self, bin_width: float = 5.0, start: float = 0.0,
+                      end: Optional[float] = None) -> List[Tuple[float, int]]:
+        """Update deliveries per bin (Figure 10 top row)."""
+        return bin_counts(self.update_times, bin_width, start=start, end=end)
+
+    def damped_link_deltas(self) -> List[Tuple[float, int]]:
+        return [(time, delta) for time, delta, _, _ in self.suppression_changes]
+
+    def damped_link_series(self) -> List[Tuple[float, int]]:
+        """Number of suppressed (router, peer) entries over time
+        (Figure 10 bottom row)."""
+        return to_step_series(self.damped_link_deltas())
+
+    def damped_links_at(self, time: float) -> int:
+        return step_series_at(self.damped_link_series(), time)
+
+    def peak_damped_links(self) -> int:
+        series = self.damped_link_series()
+        return max((count for _, count in series), default=0)
+
+    @property
+    def total_suppressions(self) -> int:
+        """Number of suppression episodes started during the run."""
+        return sum(1 for _, delta, _, _ in self.suppression_changes if delta > 0)
+
+    def routers_with_suppressions(self) -> List[str]:
+        return sorted({r for _, delta, r, _ in self.suppression_changes if delta > 0})
+
+    # ------------------------------------------------------------------
+    # reuse-timer observations (via the routers' damping managers)
+    # ------------------------------------------------------------------
+
+    def reuse_events(self) -> List[ReuseEvent]:
+        """Every reuse-timer expiry across all routers, in time order."""
+        events: List[ReuseEvent] = []
+        for router in self._routers:
+            if router.damping is not None:
+                events.extend(router.damping.reuse_events)
+        events.sort(key=lambda e: e.time)
+        return events
+
+    def noisy_reuse_count(self) -> int:
+        return sum(1 for e in self.reuse_events() if e.noisy)
+
+    def silent_reuse_count(self) -> int:
+        return sum(1 for e in self.reuse_events() if not e.noisy)
+
+    def secondary_charge_count(self) -> int:
+        """Total reuse-timer postponements observed while suppressed —
+        the footprint of secondary charging."""
+        total = 0
+        for router in self._routers:
+            if router.damping is None:
+                continue
+            for record in router.damping.suppressions:
+                total += len(record.recharges)
+        return total
+
+    def suppression_records(self) -> Dict[str, list]:
+        """Per-router suppression episodes (for detailed analysis)."""
+        return {
+            router.name: list(router.damping.suppressions)
+            for router in self._routers
+            if router.damping is not None
+        }

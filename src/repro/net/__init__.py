@@ -1,0 +1,14 @@
+"""Network substrate: nodes, point-to-point links, message delivery.
+
+The substrate is deliberately protocol-agnostic — it moves opaque message
+objects between named nodes over links with configurable delay and jitter.
+The BGP layer (:mod:`repro.bgp`) plugs routers in as :class:`Node`
+subclasses.
+"""
+
+from repro.net.link import Link, LinkConfig
+from repro.net.message import Message
+from repro.net.network import Network
+from repro.net.node import Node
+
+__all__ = ["Link", "LinkConfig", "Message", "Network", "Node"]

@@ -1,0 +1,118 @@
+"""Point-to-point links with delay and jitter.
+
+A link connects exactly two nodes and delivers messages in both
+directions. Delivery delay is ``base_delay`` plus a uniform jitter sample;
+per-direction FIFO ordering is enforced (a message never overtakes an
+earlier message in the same direction), matching TCP-based BGP sessions,
+where updates between two peers are strictly ordered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Tuple
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.net.message import Message
+from repro.sim.engine import Engine
+from repro.sim.rng import RngRegistry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.network import Network
+
+
+@dataclass(frozen=True)
+class LinkConfig:
+    """Delay model for a link.
+
+    ``base_delay`` is the fixed one-way propagation delay in seconds;
+    each delivery adds a uniform sample from ``[0, jitter]``. The small
+    default values correspond to the intra-simulation message latencies of
+    SSFNet-style BGP studies, where protocol timers (MRAI, reuse timers)
+    dominate dynamics and wire latency is milliseconds.
+    """
+
+    base_delay: float = 0.01
+    jitter: float = 0.04
+
+    def __post_init__(self) -> None:
+        if self.base_delay < 0:
+            raise ConfigurationError(f"base_delay must be >= 0, got {self.base_delay}")
+        if self.jitter < 0:
+            raise ConfigurationError(f"jitter must be >= 0, got {self.jitter}")
+
+
+class Link:
+    """A bidirectional link between two named nodes."""
+
+    def __init__(
+        self,
+        network: "Network",
+        a: str,
+        b: str,
+        config: LinkConfig,
+        engine: Engine,
+        rng: RngRegistry,
+    ) -> None:
+        if a == b:
+            raise ConfigurationError(f"link endpoints must differ, got {a!r} twice")
+        self._network = network
+        self.a = a
+        self.b = b
+        self.config = config
+        self._engine = engine
+        self._rng = rng.stream(f"link:{min(a, b)}-{max(a, b)}")
+        self.up = True
+        self.messages_carried = 0
+        # Earliest time the next message in each direction may be
+        # delivered, to preserve per-direction FIFO order.
+        self._next_free: Dict[Tuple[str, str], float] = {}
+
+    @property
+    def endpoints(self) -> Tuple[str, str]:
+        return (self.a, self.b)
+
+    def other_end(self, node: str) -> str:
+        """The endpoint opposite ``node``."""
+        if node == self.a:
+            return self.b
+        if node == self.b:
+            return self.a
+        raise SimulationError(f"{node!r} is not an endpoint of link {self.a}-{self.b}")
+
+    def set_up(self, up: bool) -> None:
+        """Mark the link up or down. Messages sent while down are dropped."""
+        self.up = up
+
+    def send(self, src: str, payload: object) -> Message:
+        """Send ``payload`` from ``src`` to the other endpoint.
+
+        Returns the in-flight :class:`Message`. If the link is down the
+        message is created but silently dropped (never delivered), which is
+        how a failed physical link behaves from the sender's perspective.
+        """
+        dst = self.other_end(src)
+        message = Message(src=src, dst=dst, payload=payload)
+        message.sent_at = self._engine.now
+        if not self.up:
+            return message
+        delay = self.config.base_delay + self._rng.uniform(0.0, self.config.jitter)
+        deliver_at = self._engine.now + delay
+        key = (src, dst)
+        floor = self._next_free.get(key, 0.0)
+        if deliver_at < floor:
+            deliver_at = floor
+        self._next_free[key] = deliver_at
+        self._engine.schedule_at(deliver_at, lambda: self._deliver(message))
+        return message
+
+    def _deliver(self, message: Message) -> None:
+        if not self.up:
+            return  # link failed while the message was in flight
+        message.delivered_at = self._engine.now
+        self.messages_carried += 1
+        self._network.deliver(message)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "up" if self.up else "down"
+        return f"Link({self.a}-{self.b}, {state}, carried={self.messages_carried})"

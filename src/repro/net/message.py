@@ -1,0 +1,37 @@
+"""The envelope carried by links.
+
+A :class:`Message` records who sent it, who should receive it, and an
+opaque payload (for us, a BGP update). Send/delivery timestamps are filled
+in by the link so the metrics layer can measure propagation without
+reaching into the transport.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+_message_ids = itertools.count(1)
+
+
+@dataclass
+class Message:
+    """An in-flight unit of communication between two adjacent nodes."""
+
+    src: str
+    dst: str
+    payload: Any
+    msg_id: int = field(default_factory=lambda: next(_message_ids))
+    sent_at: Optional[float] = None
+    delivered_at: Optional[float] = None
+
+    @property
+    def latency(self) -> Optional[float]:
+        """Propagation delay experienced, once delivered."""
+        if self.sent_at is None or self.delivered_at is None:
+            return None
+        return self.delivered_at - self.sent_at
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Message(#{self.msg_id} {self.src}->{self.dst} {self.payload!r})"

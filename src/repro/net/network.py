@@ -1,0 +1,164 @@
+"""The network: a registry of nodes and links plus the delivery fabric.
+
+:class:`Network` owns the wiring. Nodes are added by name, links connect
+pairs of existing nodes, and :meth:`Network.send` routes a payload over the
+direct link between two adjacent nodes. Observers can register a delivery
+hook to count messages without subclassing anything.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.net.link import Link, LinkConfig
+from repro.net.message import Message
+from repro.net.node import Node
+from repro.sim.engine import Engine
+from repro.sim.rng import RngRegistry
+
+DeliveryHook = Callable[[Message], None]
+
+
+def _link_key(a: str, b: str) -> Tuple[str, str]:
+    return (a, b) if a <= b else (b, a)
+
+
+class Network:
+    """A collection of nodes joined by point-to-point links."""
+
+    def __init__(self, engine: Engine, rng: Optional[RngRegistry] = None) -> None:
+        self.engine = engine
+        self.rng = rng if rng is not None else RngRegistry(0)
+        self._nodes: Dict[str, Node] = {}
+        self._links: Dict[Tuple[str, str], Link] = {}
+        self._delivery_hooks: List[DeliveryHook] = []
+        self._send_hooks: List[DeliveryHook] = []
+        self.messages_delivered = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def add_node(self, node: Node) -> Node:
+        """Register ``node``; names must be unique."""
+        if node.name in self._nodes:
+            raise ConfigurationError(f"duplicate node name {node.name!r}")
+        self._nodes[node.name] = node
+        node.attach(self)
+        return node
+
+    def add_link(self, a: str, b: str, config: Optional[LinkConfig] = None) -> Link:
+        """Wire a bidirectional link between existing nodes ``a`` and ``b``."""
+        if a not in self._nodes:
+            raise ConfigurationError(f"unknown node {a!r}")
+        if b not in self._nodes:
+            raise ConfigurationError(f"unknown node {b!r}")
+        key = _link_key(a, b)
+        if key in self._links:
+            raise ConfigurationError(f"link {a}-{b} already exists")
+        link = Link(self, a, b, config or LinkConfig(), self.engine, self.rng)
+        self._links[key] = link
+        self._nodes[a].on_link_added(b)
+        self._nodes[b].on_link_added(a)
+        return link
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+
+    def node(self, name: str) -> Node:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise SimulationError(f"unknown node {name!r}") from None
+
+    def has_node(self, name: str) -> bool:
+        return name in self._nodes
+
+    def link(self, a: str, b: str) -> Link:
+        try:
+            return self._links[_link_key(a, b)]
+        except KeyError:
+            raise SimulationError(f"no link between {a!r} and {b!r}") from None
+
+    def has_link(self, a: str, b: str) -> bool:
+        return _link_key(a, b) in self._links
+
+    @property
+    def node_names(self) -> List[str]:
+        return list(self._nodes)
+
+    @property
+    def nodes(self) -> Iterable[Node]:
+        return self._nodes.values()
+
+    @property
+    def links(self) -> Iterable[Link]:
+        return self._links.values()
+
+    @property
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def link_count(self) -> int:
+        return len(self._links)
+
+    def degree(self, name: str) -> int:
+        """Number of links attached to ``name``."""
+        return len(self.node(name).neighbors)
+
+    # ------------------------------------------------------------------
+    # traffic
+    # ------------------------------------------------------------------
+
+    def send(self, src: str, dst: str, payload: object) -> Message:
+        """Send ``payload`` over the direct link from ``src`` to ``dst``."""
+        link = self.link(src, dst)
+        message = link.send(src, payload)
+        for hook in self._send_hooks:
+            hook(message)
+        return message
+
+    def deliver(self, message: Message) -> None:
+        """Called by links when a message arrives; dispatches to the node."""
+        self.messages_delivered += 1
+        for hook in self._delivery_hooks:
+            hook(message)
+        self._nodes[message.dst].handle_message(message)
+
+    def add_delivery_hook(self, hook: DeliveryHook) -> None:
+        """Observe every delivered message (metrics, tracing)."""
+        self._delivery_hooks.append(hook)
+
+    def add_send_hook(self, hook: DeliveryHook) -> None:
+        """Observe every sent message (including ones dropped by down links)."""
+        self._send_hooks.append(hook)
+
+    def set_link_state(self, a: str, b: str, up: bool) -> None:
+        """Fail or restore the link between ``a`` and ``b``.
+
+        The link stops (or resumes) delivering messages, and both
+        endpoints are notified through :meth:`Node.on_link_state` so
+        protocol sessions can be torn down / re-established. A no-op if
+        the link is already in the requested state.
+        """
+        link = self.link(a, b)
+        if link.up == up:
+            return
+        link.set_up(up)
+        self._nodes[a].on_link_state(b, up)
+        self._nodes[b].on_link_state(a, up)
+
+    # ------------------------------------------------------------------
+    # life cycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Invoke every node's start hook (idempotent nodes expected)."""
+        for node in self._nodes.values():
+            node.start()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Network(nodes={self.node_count}, links={self.link_count})"

@@ -1,0 +1,67 @@
+"""Base class for anything attached to the network.
+
+A :class:`Node` has a name, knows its neighbours (discovered when links
+are wired up), and receives delivered messages through
+:meth:`Node.handle_message`. Protocol behaviour lives in subclasses —
+see :class:`repro.bgp.router.BgpRouter`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from repro.net.message import Message
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.network import Network
+
+
+class Node:
+    """A named participant in the network."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._network: "Network" = None  # type: ignore[assignment]
+        self._neighbors: List[str] = []
+
+    @property
+    def network(self) -> "Network":
+        if self._network is None:
+            raise RuntimeError(f"node {self.name!r} is not attached to a network")
+        return self._network
+
+    @property
+    def neighbors(self) -> List[str]:
+        """Names of directly connected nodes, in attachment order."""
+        return list(self._neighbors)
+
+    def attach(self, network: "Network") -> None:
+        """Called by :class:`Network` when the node is added."""
+        self._network = network
+
+    def on_link_added(self, neighbor: str) -> None:
+        """Called by :class:`Network` when a link to ``neighbor`` is wired."""
+        if neighbor not in self._neighbors:
+            self._neighbors.append(neighbor)
+
+    def send(self, neighbor: str, payload: object) -> Message:
+        """Send ``payload`` over the direct link to ``neighbor``."""
+        return self.network.send(self.name, neighbor, payload)
+
+    def handle_message(self, message: Message) -> None:
+        """Process a delivered message. Subclasses override."""
+        raise NotImplementedError
+
+    def on_link_state(self, neighbor: str, up: bool) -> None:
+        """Called when the direct link to ``neighbor`` changes state.
+
+        Default: no-op. Routing protocols override this to tear down /
+        re-establish the session (see
+        :meth:`repro.bgp.router.BgpRouter.on_link_state`).
+        """
+
+    def start(self) -> None:
+        """Hook invoked once when the simulation begins. Optional."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r}, degree={len(self._neighbors)})"

@@ -1,0 +1,232 @@
+"""The discrete-event engine.
+
+The engine owns simulated time. Components schedule callables at absolute
+or relative times; :meth:`Engine.run` pops events in ``(time, sequence)``
+order and invokes them. Because ties are broken by the monotonically
+increasing sequence number, two events scheduled for the same instant fire
+in the order they were scheduled, which makes whole simulations
+deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """A callback registered to fire at a simulated instant.
+
+    Instances are ordered by ``(time, seq)`` so they can live directly in a
+    heap. ``cancelled`` supports lazy cancellation: cancelled entries stay
+    in the heap and are skipped when popped.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine discards it instead of firing it."""
+        self.cancelled = True
+
+
+class Engine:
+    """A deterministic discrete-event scheduler.
+
+    Parameters
+    ----------
+    start_time:
+        The initial value of the simulated clock, in seconds.
+
+    Notes
+    -----
+    The engine never advances the clock past the firing time of the event
+    being executed, and it refuses to schedule events in the past; both
+    guarantees together mean causality can never be violated by scheduling
+    mistakes — they surface as :class:`SimulationError` instead.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue: List[ScheduledEvent] = []
+        self._seq = 0
+        self._running = False
+        self._events_executed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Number of events that have fired so far."""
+        return self._events_executed
+
+    @property
+    def pending_count(self) -> int:
+        """Number of live (non-cancelled) events still in the queue."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> ScheduledEvent:
+        """Schedule ``callback`` to fire at absolute simulated ``time``.
+
+        Raises
+        ------
+        SimulationError
+            If ``time`` is in the past or not a finite number.
+        """
+        if time != time or time in (float("inf"), float("-inf")):
+            raise SimulationError(f"event time must be finite, got {time!r}")
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {time:.6f}, clock is already at {self._now:.6f}"
+            )
+        event = ScheduledEvent(time=float(time), seq=self._seq, callback=callback)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> ScheduledEvent:
+        """Schedule ``callback`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay!r}")
+        return self.schedule_at(self._now + delay, callback)
+
+    def peek_next_time(self) -> Optional[float]:
+        """Return the firing time of the next live event, or ``None``."""
+        self._drop_cancelled_head()
+        if not self._queue:
+            return None
+        return self._queue[0].time
+
+    def _drop_cancelled_head(self) -> None:
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+
+    def step(self) -> bool:
+        """Execute the single next event.
+
+        Returns ``True`` if an event fired, ``False`` if the queue was
+        empty (the clock does not move in that case).
+        """
+        self._drop_cancelled_head()
+        if not self._queue:
+            return False
+        event = heapq.heappop(self._queue)
+        self._now = event.time
+        self._events_executed += 1
+        event.callback()
+        return True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run events until the queue drains, ``until`` is reached, or
+        ``max_events`` have fired in this call.
+
+        Parameters
+        ----------
+        until:
+            If given, stop before executing any event scheduled strictly
+            after this time; the clock is then advanced to ``until``.
+        max_events:
+            Safety valve for runaway simulations; ``None`` means unlimited.
+
+        Returns
+        -------
+        int
+            The number of events executed by this call.
+        """
+        if self._running:
+            raise SimulationError("engine.run() is not reentrant")
+        self._running = True
+        executed = 0
+        try:
+            while True:
+                if max_events is not None and executed >= max_events:
+                    break
+                self._drop_cancelled_head()
+                if not self._queue:
+                    break
+                if until is not None and self._queue[0].time > until:
+                    break
+                event = heapq.heappop(self._queue)
+                self._now = event.time
+                self._events_executed += 1
+                event.callback()
+                executed += 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+        return executed
+
+    def run_until_idle(self, max_time: float, max_events: int = 10_000_000) -> int:
+        """Run until the queue is fully drained or ``max_time`` is reached.
+
+        This is the standard way to run a damping simulation to
+        completion: reuse timers are bounded by the max hold-down ceiling,
+        so a converged network always drains its queue. Unlike
+        :meth:`run`, the clock is left at the last executed event rather
+        than advanced to ``max_time``, so ``engine.now`` after a drained
+        run reads as "when the simulation went quiet".
+        """
+        if self._running:
+            raise SimulationError("engine.run_until_idle() is not reentrant")
+        self._running = True
+        executed = 0
+        try:
+            while executed < max_events:
+                self._drop_cancelled_head()
+                if not self._queue:
+                    break
+                if self._queue[0].time > max_time:
+                    break
+                event = heapq.heappop(self._queue)
+                self._now = event.time
+                self._events_executed += 1
+                event.callback()
+                executed += 1
+        finally:
+            self._running = False
+        if executed >= max_events:
+            raise SimulationError(
+                f"simulation did not drain within {max_events} events "
+                f"(clock at {self._now:.1f}s)"
+            )
+        return executed
+
+    def clear(self) -> None:
+        """Drop all pending events (used between experiment repetitions)."""
+        self._queue.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Engine(now={self._now:.3f}, pending={self.pending_count}, "
+            f"executed={self._events_executed})"
+        )
+
+
+def call_soon(engine: Engine, callback: Callable[[], None]) -> ScheduledEvent:
+    """Schedule ``callback`` at the current instant (after pending same-time
+    events already in the queue)."""
+    return engine.schedule(0.0, callback)
+
+
+def format_time(seconds: float) -> str:
+    """Render a simulated time as ``h:mm:ss.mmm`` for logs and reports."""
+    total_ms = int(round(seconds * 1000))
+    ms = total_ms % 1000
+    total_s = total_ms // 1000
+    s = total_s % 60
+    m = (total_s // 60) % 60
+    h = total_s // 3600
+    return f"{h}:{m:02d}:{s:02d}.{ms:03d}"
+
+
+__all__: Any = ["Engine", "ScheduledEvent", "call_soon", "format_time"]

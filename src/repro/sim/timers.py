@@ -1,0 +1,122 @@
+"""Cancellable, restartable timers layered on the event engine.
+
+Both BGP's MRAI timer and damping's reuse timer need the same life cycle:
+start, possibly reschedule to a later (or earlier) instant while pending,
+fire exactly once per arming, and report their state. :class:`Timer`
+wraps the engine's lazy-cancellation events with that life cycle.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Optional
+
+from repro.errors import TimerError
+from repro.sim.engine import Engine, ScheduledEvent
+
+
+class TimerState(enum.Enum):
+    """Life-cycle states of a :class:`Timer`."""
+
+    IDLE = "idle"
+    PENDING = "pending"
+    FIRED = "fired"
+    CANCELLED = "cancelled"
+
+
+class Timer:
+    """A one-shot timer that can be rescheduled while pending.
+
+    Parameters
+    ----------
+    engine:
+        The event engine that owns simulated time.
+    callback:
+        Invoked with no arguments when the timer fires.
+    name:
+        Optional label used in error messages and ``repr``.
+    """
+
+    def __init__(self, engine: Engine, callback: Callable[[], None], name: str = "") -> None:
+        self._engine = engine
+        self._callback = callback
+        self._name = name
+        self._state = TimerState.IDLE
+        self._event: Optional[ScheduledEvent] = None
+        self._expiry: Optional[float] = None
+
+    @property
+    def state(self) -> TimerState:
+        return self._state
+
+    @property
+    def is_pending(self) -> bool:
+        return self._state is TimerState.PENDING
+
+    @property
+    def expiry(self) -> Optional[float]:
+        """Absolute time the timer will (or did) fire, ``None`` if idle."""
+        return self._expiry
+
+    @property
+    def remaining(self) -> float:
+        """Seconds until expiry; 0.0 when not pending."""
+        if not self.is_pending or self._expiry is None:
+            return 0.0
+        return max(0.0, self._expiry - self._engine.now)
+
+    def start(self, delay: float) -> None:
+        """Arm the timer to fire ``delay`` seconds from now.
+
+        Raises
+        ------
+        TimerError
+            If the timer is already pending (use :meth:`reschedule`).
+        """
+        if self._state is TimerState.PENDING:
+            raise TimerError(f"timer {self._name!r} already pending; use reschedule()")
+        self._arm(delay)
+
+    def reschedule(self, delay: float) -> None:
+        """Move a pending timer's expiry to ``delay`` seconds from now,
+        or arm an idle one."""
+        if self._state is TimerState.PENDING and self._event is not None:
+            self._event.cancel()
+        self._arm(delay)
+
+    def restart_if_idle(self, delay: float) -> bool:
+        """Arm the timer only if it is not currently pending.
+
+        Returns ``True`` if the timer was armed by this call.
+        """
+        if self._state is TimerState.PENDING:
+            return False
+        self._arm(delay)
+        return True
+
+    def cancel(self) -> None:
+        """Disarm a pending timer; a no-op in any other state."""
+        if self._state is TimerState.PENDING and self._event is not None:
+            self._event.cancel()
+            self._event = None
+            self._state = TimerState.CANCELLED
+            self._expiry = None
+
+    def _arm(self, delay: float) -> None:
+        if delay < 0:
+            raise TimerError(f"timer {self._name!r} delay must be >= 0, got {delay}")
+        self._expiry = self._engine.now + delay
+        self._event = self._engine.schedule(delay, self._fire)
+        self._state = TimerState.PENDING
+
+    def _fire(self) -> None:
+        # The engine only calls this for non-cancelled events, but a
+        # reschedule may have replaced self._event; guard on state anyway.
+        if self._state is not TimerState.PENDING:
+            return
+        self._state = TimerState.FIRED
+        self._event = None
+        self._callback()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Timer({self._name!r}, state={self._state.value}, expiry={self._expiry})"

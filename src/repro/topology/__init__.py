@@ -1,0 +1,23 @@
+"""Topology generation: the paper's mesh and Internet-derived graphs.
+
+- :func:`mesh_topology` — a 2-D grid with opposite edges connected (a
+  torus), "so that all nodes are topologically equal" (Section 5.1).
+- :func:`internet_topology` — a synthetic AS graph with a long-tailed
+  degree distribution, standing in for the paper's BGP-table-derived
+  topologies (see DESIGN.md's substitution notes).
+- :mod:`repro.topology.relationships` — customer-provider / peer-peer
+  assignment used by the no-valley policy experiment (Figure 15).
+"""
+
+from repro.topology.internet import internet_topology
+from repro.topology.mesh import mesh_topology
+from repro.topology.relationships import RelationshipMap, assign_relationships
+from repro.topology.model import Topology
+
+__all__ = [
+    "RelationshipMap",
+    "Topology",
+    "assign_relationships",
+    "internet_topology",
+    "mesh_topology",
+]

@@ -1,0 +1,113 @@
+"""Synthetic Internet-derived topologies.
+
+The paper uses AS graphs derived from BGP routing tables (Premore's
+SSFNet gallery), whose load-bearing property for this study is the
+long-tailed degree distribution: a few highly connected transit hubs and
+many low-degree stubs, which shapes how much path exploration different
+parts of the network see. We generate that shape with preferential
+attachment (Barabási–Albert), optionally enriched with extra random
+peering edges to raise path diversity toward measured AS-graph levels.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+import networkx as nx
+
+from repro.errors import TopologyError
+from repro.topology.model import Topology
+from repro.topology.relationships import assign_relationships
+
+
+def internet_node_name(index: int) -> str:
+    """Canonical node name for AS number ``index``."""
+    return f"as{index:03d}"
+
+
+def internet_topology(
+    nodes: int,
+    attachment: int = 2,
+    extra_peering_fraction: float = 0.0,
+    seed: int = 0,
+    with_relationships: bool = False,
+) -> Topology:
+    """Build a power-law AS graph with ``nodes`` ASes.
+
+    Parameters
+    ----------
+    nodes:
+        Number of ASes (the paper uses 100 and 208).
+    attachment:
+        Edges each new AS brings (Barabási–Albert ``m``); 2 gives an
+        average degree near 4 and a long-tailed distribution.
+    extra_peering_fraction:
+        Additional random edges, as a fraction of the BA edge count,
+        wired preferentially between similar-degree nodes to mimic
+        peering links.
+    seed:
+        Topology RNG seed (independent of the simulation seed).
+    with_relationships:
+        Assign customer-provider / peer-peer relationships (needed by the
+        no-valley policy, Figure 15).
+    """
+    if nodes < 3:
+        raise TopologyError(f"internet topology needs >= 3 nodes, got {nodes}")
+    if attachment < 1 or attachment >= nodes:
+        raise TopologyError(
+            f"attachment must be in [1, nodes), got {attachment} for {nodes} nodes"
+        )
+    if extra_peering_fraction < 0:
+        raise TopologyError(
+            f"extra_peering_fraction must be >= 0, got {extra_peering_fraction}"
+        )
+
+    base = nx.barabasi_albert_graph(nodes, attachment, seed=seed)
+    graph = nx.relabel_nodes(base, {i: internet_node_name(i) for i in base.nodes})
+
+    if extra_peering_fraction > 0:
+        _add_peering_edges(graph, extra_peering_fraction, seed)
+
+    relationships = assign_relationships(graph) if with_relationships else None
+    return Topology(
+        name=f"internet-{nodes}",
+        graph=graph,
+        relationships=relationships,
+        metadata={
+            "attachment": attachment,
+            "extra_peering_fraction": extra_peering_fraction,
+            "seed": seed,
+        },
+    )
+
+
+def _add_peering_edges(graph: nx.Graph, fraction: float, seed: int) -> None:
+    """Add ``fraction * |E|`` random edges between similar-degree nodes."""
+    rng = random.Random(seed + 1)
+    target = int(graph.number_of_edges() * fraction)
+    names = sorted(graph.nodes)
+    attempts = 0
+    added = 0
+    while added < target and attempts < target * 50 + 100:
+        attempts += 1
+        a, b = rng.sample(names, 2)
+        if graph.has_edge(a, b):
+            continue
+        deg_a, deg_b = graph.degree[a], graph.degree[b]
+        # Prefer similar-degree pairs (peering-like); always allow small
+        # degrees so stubs can multihome.
+        if max(deg_a, deg_b) > 2 * max(1, min(deg_a, deg_b)) and rng.random() < 0.7:
+            continue
+        graph.add_edge(a, b)
+        added += 1
+
+
+def pick_isp(topology: Topology, rng: Optional[random.Random] = None) -> str:
+    """Randomly select a node to play the ``ispAS`` role.
+
+    The paper "randomly select[s] a node to be the ispAS"; a plain uniform
+    choice over nodes reproduces that.
+    """
+    chooser = rng if rng is not None else random.Random(0)
+    return chooser.choice(topology.nodes)

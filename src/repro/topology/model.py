@@ -1,0 +1,79 @@
+"""The topology value object shared by generators and scenarios."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import networkx as nx
+
+from repro.errors import TopologyError
+from repro.topology.relationships import RelationshipMap
+
+
+@dataclass
+class Topology:
+    """An undirected AS-level graph with string node names.
+
+    ``relationships`` is populated only when the topology carries
+    commercial relationships (needed by the no-valley policy).
+    """
+
+    name: str
+    graph: nx.Graph
+    relationships: Optional[RelationshipMap] = None
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.graph.number_of_nodes() == 0:
+            raise TopologyError(f"topology {self.name!r} has no nodes")
+        if not nx.is_connected(self.graph):
+            raise TopologyError(f"topology {self.name!r} must be connected")
+        for node in self.graph.nodes:
+            if not isinstance(node, str):
+                raise TopologyError(
+                    f"topology {self.name!r} has non-string node {node!r}"
+                )
+
+    @property
+    def node_count(self) -> int:
+        return self.graph.number_of_nodes()
+
+    @property
+    def edge_count(self) -> int:
+        return self.graph.number_of_edges()
+
+    @property
+    def nodes(self) -> List[str]:
+        return sorted(self.graph.nodes)
+
+    @property
+    def edges(self) -> List[Tuple[str, str]]:
+        return sorted(tuple(sorted(e)) for e in self.graph.edges)
+
+    def degree(self, node: str) -> int:
+        return int(self.graph.degree[node])
+
+    def neighbors(self, node: str) -> List[str]:
+        return sorted(self.graph.neighbors(node))
+
+    def hop_distance(self, a: str, b: str) -> int:
+        """Shortest-path hop count between two nodes."""
+        return int(nx.shortest_path_length(self.graph, a, b))
+
+    def nodes_at_distance(self, source: str, distance: int) -> List[str]:
+        """All nodes exactly ``distance`` hops from ``source``."""
+        lengths = nx.single_source_shortest_path_length(self.graph, source)
+        return sorted(n for n, d in lengths.items() if d == distance)
+
+    def eccentricity(self, source: str) -> int:
+        """Greatest hop distance from ``source`` to any node."""
+        lengths = nx.single_source_shortest_path_length(self.graph, source)
+        return max(lengths.values())
+
+    def degree_histogram(self) -> dict:
+        """``{degree: node count}`` — used to sanity-check long tails."""
+        histogram: dict = {}
+        for _, degree in self.graph.degree:
+            histogram[degree] = histogram.get(degree, 0) + 1
+        return histogram

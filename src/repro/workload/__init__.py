@@ -1,0 +1,8 @@
+"""Workloads: flap (pulse) schedules and the standard experiment scenario
+(warm-up, measured flapping episode, drain) from the paper's Section 5.1
+methodology."""
+
+from repro.workload.pulses import PulseSchedule
+from repro.workload.scenarios import FlapRunResult, Scenario, ScenarioConfig
+
+__all__ = ["FlapRunResult", "PulseSchedule", "Scenario", "ScenarioConfig"]

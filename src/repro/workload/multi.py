@@ -1,0 +1,177 @@
+"""Multiple flapping origins in one network.
+
+The paper studies a single unstable destination; a natural extension
+(its Section 8 argues damping matters wherever "resource constraints …
+are limited") is several independently flapping prefixes sharing the
+same routers. Because damping state is per (peer, prefix), the prefixes
+do not interact through penalties — but they *do* share links, MRAI
+timers, and router CPUs, so their update waves interleave.
+
+:class:`MultiOriginScenario` attaches ``k`` origins (each with its own
+prefix) to distinct ISPs, warms them all up, drives one
+:class:`~repro.workload.pulses.PulseSchedule` per origin concurrently,
+and reports per-prefix convergence and message counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.bgp.origin import OriginRouter
+from repro.bgp.router import BgpRouter, RouterConfig
+from repro.errors import ConfigurationError, SimulationError
+from repro.metrics.collector import MetricsCollector
+from repro.net.network import Network
+from repro.sim.engine import Engine
+from repro.sim.rng import RngRegistry
+from repro.workload.pulses import PulseSchedule
+from repro.workload.scenarios import ScenarioConfig
+
+
+@dataclass
+class PrefixOutcome:
+    """Per-prefix results of a multi-origin episode."""
+
+    prefix: str
+    origin: str
+    isp: str
+    pulses: int
+    convergence_time: float
+    message_count: int
+
+
+@dataclass
+class MultiOriginResult:
+    outcomes: List[PrefixOutcome]
+    total_messages: int
+    end_time: float
+    collector: MetricsCollector
+
+
+class MultiOriginScenario:
+    """``k`` independently flapping origins over one shared topology."""
+
+    def __init__(self, config: ScenarioConfig, origin_count: int) -> None:
+        if origin_count < 1:
+            raise ConfigurationError(f"origin_count must be >= 1, got {origin_count}")
+        if origin_count > config.topology.node_count:
+            raise ConfigurationError(
+                "cannot attach more origins than topology nodes"
+            )
+        if config.use_no_valley:
+            raise ConfigurationError(
+                "multi-origin scenarios currently support shortest-path policy only"
+            )
+        self.config = config
+        self.rng = RngRegistry(config.seed)
+        self.engine = Engine()
+        self.network = Network(self.engine, self.rng)
+        self.routers: Dict[str, BgpRouter] = {}
+        self._build_routers()
+        self.origins: List[OriginRouter] = []
+        self._attach_origins(origin_count)
+        self._warmed = False
+        self._ran = False
+
+    def _build_routers(self) -> None:
+        router_config = RouterConfig(
+            damping=self.config.damping,
+            rcn_enabled=self.config.rcn,
+            selective_enabled=self.config.selective,
+            mrai=self.config.mrai,
+        )
+        for name in self.config.topology.nodes:
+            router = BgpRouter(name, self.engine, self.rng, config=router_config)
+            self.routers[name] = router
+            self.network.add_node(router)
+        for a, b in self.config.topology.edges:
+            self.network.add_link(a, b, self.config.link)
+
+    def _attach_origins(self, count: int) -> None:
+        chooser = self.rng.stream("multi:isps")
+        isps = chooser.sample(self.config.topology.nodes, count)
+        for index, isp in enumerate(isps):
+            name = f"origin{index}"
+            prefix = f"p{index}"
+            origin = OriginRouter(name, self.engine, self.rng, prefix=prefix, isp=isp)
+            self.network.add_node(origin)
+            self.network.add_link(name, isp, self.config.link)
+            self.origins.append(origin)
+
+    # ------------------------------------------------------------------
+
+    def warm_up(self) -> None:
+        """Announce every prefix and run to a fully converged start."""
+        if self._warmed:
+            raise SimulationError("multi-origin scenario already warmed up")
+        self._warmed = True
+        for origin in self.origins:
+            origin.bring_up()
+        self.engine.run_until_idle(max_time=self.config.warmup_horizon)
+        if self.engine.pending_count:
+            raise SimulationError("multi-origin warm-up did not converge")
+        for router in self.routers.values():
+            for origin in self.origins:
+                if not router.has_route(origin.prefix):
+                    raise SimulationError(
+                        f"{router.name} has no route to {origin.prefix} after warm-up"
+                    )
+            router.reset_damping()
+
+    def run(self, schedules: Sequence[Optional[PulseSchedule]]) -> MultiOriginResult:
+        """Drive one schedule per origin (``None`` = that origin is stable)."""
+        if len(schedules) != len(self.origins):
+            raise ConfigurationError(
+                f"need {len(self.origins)} schedules, got {len(schedules)}"
+            )
+        if not self._warmed:
+            self.warm_up()
+        if self._ran:
+            raise SimulationError("multi-origin scenario already ran")
+        self._ran = True
+
+        collector = MetricsCollector()
+        collector.attach(self.network, list(self.routers.values()))
+        start = self.engine.now
+        final_announcements: Dict[str, Optional[float]] = {}
+        for origin, schedule in zip(self.origins, schedules):
+            if schedule is None or not schedule.events:
+                final_announcements[origin.prefix] = None
+                continue
+            for offset, status in schedule.events:
+                action = origin.take_down if status == "down" else origin.bring_up
+                self.engine.schedule_at(start + offset, action)
+            final_announcements[origin.prefix] = (
+                start + schedule.final_announcement_offset
+            )
+        self.engine.run_until_idle(max_time=start + self.config.run_horizon)
+        if self.engine.pending_count:
+            raise SimulationError("multi-origin episode did not drain")
+
+        outcomes: List[PrefixOutcome] = []
+        for origin, schedule in zip(self.origins, schedules):
+            prefix = origin.prefix
+            final = final_announcements[prefix]
+            prefix_updates = [u.time for u in collector.updates if u.prefix == prefix]
+            if final is None or not prefix_updates or max(prefix_updates) <= final:
+                convergence = 0.0
+            else:
+                convergence = max(prefix_updates) - final
+            outcomes.append(
+                PrefixOutcome(
+                    prefix=prefix,
+                    origin=origin.name,
+                    isp=origin.isp,
+                    pulses=schedule.pulse_count if schedule else 0,
+                    convergence_time=convergence,
+                    message_count=len(prefix_updates),
+                )
+            )
+        return MultiOriginResult(
+            outcomes=outcomes,
+            total_messages=collector.message_count,
+            end_time=self.engine.now,
+            collector=collector,
+        )
+

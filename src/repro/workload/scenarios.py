@@ -1,0 +1,395 @@
+"""The standard experiment scenario (paper Section 5.1).
+
+A :class:`Scenario` packages the paper's methodology:
+
+1. **Build** — instantiate the topology as a network of
+   :class:`~repro.bgp.router.BgpRouter` nodes, pick a random ``ispAS``,
+   and attach the flapping ``originAS`` to it.
+2. **Warm up** — the origin announces its prefix; run until every node
+   has learned a stable route; then wipe all damping state so the
+   measured episode starts clean. The warm-up's convergence time doubles
+   as the measured ``t_up`` for the intended-behaviour model.
+3. **Run** — attach a fresh :class:`~repro.metrics.collector.MetricsCollector`,
+   drive a :class:`~repro.workload.pulses.PulseSchedule` through the
+   origin, and run the event queue dry. Convergence time and message
+   count are measured exactly as the paper defines them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping, Optional
+
+from repro.bgp.mrai import MraiConfig
+from repro.bgp.origin import OriginRouter
+from repro.bgp.policy import NoValleyPolicy, RoutingPolicy, ShortestPathPolicy
+from repro.bgp.router import BgpRouter, RouterConfig
+from repro.core.intended import IntendedBehaviorModel
+from repro.core.params import DampingParams
+from repro.errors import ConfigurationError, SimulationError
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.convergence import ConvergenceSummary, summarize_convergence
+from repro.net.link import LinkConfig
+from repro.net.network import Network
+from repro.sim.engine import Engine
+from repro.sim.events import EventTrace
+from repro.sim.rng import RngRegistry
+from repro.topology.model import Topology
+from repro.workload.pulses import PulseSchedule
+
+ORIGIN_NAME = "originAS"
+DEFAULT_PREFIX = "p0"
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Everything that defines one simulation run (minus the pulse count)."""
+
+    topology: Topology
+    damping: Optional[DampingParams] = None
+    rcn: bool = False
+    selective: bool = False
+    use_no_valley: bool = False
+    mrai: MraiConfig = field(default_factory=MraiConfig)
+    link: LinkConfig = field(default_factory=LinkConfig)
+    seed: int = 0
+    isp: Optional[str] = None
+    #: Fraction of topology routers that run damping (partial deployment
+    #: ablation); 1.0 = full deployment as in the paper's main results.
+    damping_fraction: float = 1.0
+    #: Per-router damping-parameter overrides (heterogeneous deployments,
+    #: paper Section 7: "different routers have inconsistent damping
+    #: parameter settings"). Routers not listed use ``damping``.
+    damping_overrides: Optional[Mapping[str, DampingParams]] = None
+    prefix: str = DEFAULT_PREFIX
+    warmup_horizon: float = 5_000.0
+    run_horizon: float = 100_000.0
+
+    def __post_init__(self) -> None:
+        if self.rcn and self.selective:
+            raise ConfigurationError("rcn and selective filters are mutually exclusive")
+        if not (0.0 <= self.damping_fraction <= 1.0):
+            raise ConfigurationError(
+                f"damping_fraction must be in [0, 1], got {self.damping_fraction}"
+            )
+        if self.use_no_valley and self.topology.relationships is None:
+            raise ConfigurationError(
+                "no-valley policy requires a topology with relationships"
+            )
+        if self.isp is not None and self.isp not in self.topology.graph:
+            raise ConfigurationError(f"isp {self.isp!r} is not in the topology")
+        if self.damping_overrides:
+            unknown = [
+                name
+                for name in self.damping_overrides
+                if name not in self.topology.graph
+            ]
+            if unknown:
+                raise ConfigurationError(
+                    f"damping_overrides for unknown routers: {unknown[:5]}"
+                )
+            if self.damping is None:
+                raise ConfigurationError(
+                    "damping_overrides require a base damping configuration"
+                )
+
+    def with_damping(self, damping: Optional[DampingParams]) -> "ScenarioConfig":
+        return replace(self, damping=damping)
+
+    def label(self) -> str:
+        parts = [self.topology.name]
+        parts.append("damping" if self.damping is not None else "no-damping")
+        if self.rcn:
+            parts.append("rcn")
+        if self.selective:
+            parts.append("selective")
+        if self.use_no_valley:
+            parts.append("no-valley")
+        return "/".join(parts)
+
+
+@dataclass
+class FlapRunResult:
+    """Outcome of one measured flapping episode."""
+
+    config: ScenarioConfig
+    schedule: PulseSchedule
+    collector: MetricsCollector
+    summary: ConvergenceSummary
+    #: Absolute time of the origin's final announcement.
+    final_announcement_time: Optional[float]
+    #: Absolute flap event times (for phase classification).
+    flap_times: List[float]
+    #: Measured warm-up convergence time (the empirical ``t_up``).
+    warmup_convergence: float
+    #: Engine clock when the run drained.
+    end_time: float
+    #: Time-ordered structured trace of the measured episode: ``flap``,
+    #: ``update``, ``suppress``, and ``reuse`` records.
+    trace: EventTrace = field(default_factory=EventTrace)
+
+    @property
+    def convergence_time(self) -> float:
+        return self.summary.convergence_time
+
+    @property
+    def message_count(self) -> int:
+        return self.summary.message_count
+
+
+class Scenario:
+    """A built simulation, ready to warm up and run one episode.
+
+    A scenario instance is single-use: build → warm_up → run. Sweeps
+    construct a fresh scenario per data point (see
+    :mod:`repro.experiments.base`).
+    """
+
+    def __init__(self, config: ScenarioConfig) -> None:
+        self.config = config
+        self.rng = RngRegistry(config.seed)
+        self.engine = Engine()
+        self.network = Network(self.engine, self.rng)
+        self.routers: Dict[str, BgpRouter] = {}
+        self.policy = self._build_policy()
+        self.isp = self._choose_isp()
+        self._build_routers()
+        self.origin = self._build_origin()
+        self.warmup_convergence: float = 0.0
+        self._warmed_up = False
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def _build_policy(self) -> RoutingPolicy:
+        if not self.config.use_no_valley:
+            return ShortestPathPolicy()
+        relationships = self.config.topology.relationships
+        assert relationships is not None  # validated by ScenarioConfig
+        return NoValleyPolicy(relationships.relationship)
+
+    def _choose_isp(self) -> str:
+        if self.config.isp is not None:
+            return self.config.isp
+        chooser = self.rng.stream("scenario:isp")
+        return chooser.choice(self.config.topology.nodes)
+
+    def _damping_nodes(self) -> set:
+        nodes = self.config.topology.nodes
+        if self.config.damping is None:
+            return set()
+        if self.config.damping_fraction >= 1.0:
+            return set(nodes)
+        count = int(round(len(nodes) * self.config.damping_fraction))
+        chooser = self.rng.stream("scenario:deployment")
+        # The ISP always damps in partial deployments — it is the router
+        # whose damping the design intends to do the isolation.
+        chosen = set(chooser.sample(nodes, count)) if count else set()
+        chosen.add(self.isp)
+        return chosen
+
+    def _build_routers(self) -> None:
+        damping_nodes = self._damping_nodes()
+        overrides = self.config.damping_overrides or {}
+        for name in self.config.topology.nodes:
+            node_damping: Optional[DampingParams] = None
+            if name in damping_nodes:
+                node_damping = overrides.get(name, self.config.damping)
+            router_config = RouterConfig(
+                damping=node_damping,
+                rcn_enabled=self.config.rcn and name in damping_nodes,
+                selective_enabled=self.config.selective and name in damping_nodes,
+                attach_root_cause=True,
+                mrai=self.config.mrai,
+            )
+            router = BgpRouter(
+                name, self.engine, self.rng, policy=self.policy, config=router_config
+            )
+            self.routers[name] = router
+            self.network.add_node(router)
+        for a, b in self.config.topology.edges:
+            self.network.add_link(a, b, self.config.link)
+
+    def _build_origin(self) -> OriginRouter:
+        origin = OriginRouter(
+            ORIGIN_NAME,
+            self.engine,
+            self.rng,
+            prefix=self.config.prefix,
+            isp=self.isp,
+        )
+        self.network.add_node(origin)
+        self.network.add_link(ORIGIN_NAME, self.isp, self.config.link)
+        if self.config.use_no_valley:
+            relationships = self.config.topology.relationships
+            assert relationships is not None
+            if not relationships.has_relationship(self.isp, ORIGIN_NAME):
+                relationships.set_provider(self.isp, ORIGIN_NAME)
+        return origin
+
+    # ------------------------------------------------------------------
+    # phases
+    # ------------------------------------------------------------------
+
+    def warm_up(self) -> float:
+        """Announce the prefix and run until every node has a route.
+
+        Returns the warm-up convergence time (last update delivery minus
+        the announcement time) and resets all damping state.
+        """
+        if self._warmed_up:
+            raise SimulationError("scenario already warmed up")
+        self._warmed_up = True
+        start = self.engine.now
+        last_delivery = [start]
+
+        def note_delivery(message) -> None:  # noqa: ANN001 - hook signature
+            last_delivery[0] = message.delivered_at
+
+        self.network.add_delivery_hook(note_delivery)
+        self.origin.bring_up()
+        self.engine.run_until_idle(max_time=start + self.config.warmup_horizon)
+        if self.engine.pending_count:
+            raise SimulationError(
+                f"warm-up did not converge within {self.config.warmup_horizon}s"
+            )
+        # Remove the temporary hook so the measured phase doesn't pay for it.
+        self.network._delivery_hooks.remove(note_delivery)
+        missing = [
+            name
+            for name, router in self.routers.items()
+            if not router.has_route(self.config.prefix)
+        ]
+        if missing:
+            raise SimulationError(
+                f"warm-up left {len(missing)} routers without a route "
+                f"(e.g. {missing[:5]})"
+            )
+        self.warmup_convergence = last_delivery[0] - start
+        for router in self.routers.values():
+            router.reset_damping()
+        return self.warmup_convergence
+
+    def run(self, schedule: PulseSchedule) -> FlapRunResult:
+        """Drive one measured flapping episode and return its result."""
+        if not self._warmed_up:
+            self.warm_up()
+        if self._ran:
+            raise SimulationError("scenario already ran its episode")
+        self._ran = True
+
+        collector = MetricsCollector()
+        collector.attach(self.network, list(self.routers.values()))
+
+        trace = EventTrace()
+        self._wire_trace(trace)
+
+        start = self.engine.now
+        for offset, status in schedule.events:
+            self.engine.schedule_at(
+                start + offset, self._make_flap_action(status, trace)
+            )
+        self.engine.run_until_idle(max_time=start + self.config.run_horizon)
+        if self.engine.pending_count:
+            raise SimulationError(
+                f"episode did not drain within {self.config.run_horizon}s "
+                f"({self.engine.pending_count} events pending)"
+            )
+
+        final_announcement: Optional[float]
+        if schedule.events:
+            final_announcement = start + schedule.final_announcement_offset
+        else:
+            final_announcement = None
+        summary = summarize_convergence(
+            collector, schedule.pulse_count, final_announcement
+        )
+        return FlapRunResult(
+            config=self.config,
+            schedule=schedule,
+            collector=collector,
+            summary=summary,
+            final_announcement_time=final_announcement,
+            flap_times=[start + offset for offset, _ in schedule.events],
+            warmup_convergence=self.warmup_convergence,
+            end_time=self.engine.now,
+            trace=trace,
+        )
+
+    def _make_flap_action(self, status: str, trace: EventTrace):
+        def action() -> None:
+            trace.record(self.engine.now, "flap", node=ORIGIN_NAME, status=status)
+            if status == "down":
+                self.origin.take_down()
+            else:
+                self.origin.bring_up()
+
+        return action
+
+    def _wire_trace(self, trace: EventTrace) -> None:
+        """Feed update deliveries and suppression changes into ``trace``."""
+
+        def on_delivery(message) -> None:  # noqa: ANN001 - hook signature
+            trace.record(
+                self.engine.now,
+                "update",
+                node=message.dst,
+                src=message.src,
+                withdrawal=message.payload.is_withdrawal,
+            )
+
+        self.network.add_delivery_hook(on_delivery)
+        for router in self.routers.values():
+            if router.damping is None:
+                continue
+
+            def observer(
+                time: float,
+                peer: str,
+                prefix: str,
+                suppressed: bool,
+                router_name: str = router.name,
+            ) -> None:
+                trace.record(
+                    time,
+                    "suppress" if suppressed else "reuse",
+                    node=router_name,
+                    peer=peer,
+                    prefix=prefix,
+                )
+
+            router.damping.suppression_observers.append(observer)
+
+    # ------------------------------------------------------------------
+    # helpers for figure drivers
+    # ------------------------------------------------------------------
+
+    def router_at_distance(self, hops: int) -> BgpRouter:
+        """A router exactly ``hops`` from the origin's attachment point
+        (falling back to the farthest available distance)."""
+        topology = self.config.topology
+        wanted = min(hops, topology.eccentricity(self.isp))
+        names = topology.nodes_at_distance(self.isp, wanted)
+        if not names:
+            raise SimulationError(f"no router at distance {wanted} from {self.isp}")
+        return self.routers[names[0]]
+
+    def intended_model(self, flap_interval: float = 60.0) -> IntendedBehaviorModel:
+        """Section 3 model parameterised with this scenario's measured
+        ``t_up`` (requires a completed warm-up and damping enabled)."""
+        if self.config.damping is None:
+            raise ConfigurationError("intended model requires damping parameters")
+        return IntendedBehaviorModel(
+            self.config.damping,
+            flap_interval=flap_interval,
+            tup=self.warmup_convergence,
+        )
+
+
+def run_episode(config: ScenarioConfig, pulses: int, flap_interval: float = 60.0) -> FlapRunResult:
+    """Convenience: build, warm up, and run one regular-pulse episode."""
+    scenario = Scenario(config)
+    scenario.warm_up()
+    return scenario.run(PulseSchedule.regular(pulses, flap_interval))

@@ -1,0 +1,104 @@
+"""Integration tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for experiment_id in ("T1", "F8", "F15", "X4"):
+        assert experiment_id in out
+
+
+def test_run_table1(capsys):
+    assert main(["run", "T1"]) == 0
+    out = capsys.readouterr().out
+    assert "Cisco" in out
+    assert "Juniper" in out
+    assert "1000" in out
+
+
+def test_run_fig3(capsys):
+    assert main(["run", "F3"]) == 0
+    out = capsys.readouterr().out
+    assert "penalty" in out
+
+
+def test_run_multiple(capsys):
+    assert main(["run", "T1", "F3"]) == 0
+    out = capsys.readouterr().out
+    assert "T1" in out and "F3" in out
+
+
+def test_run_unknown_experiment():
+    from repro.errors import ExperimentError
+
+    with pytest.raises(ExperimentError):
+        main(["run", "F99"])
+
+
+def test_simulate_small_mesh(capsys):
+    code = main(
+        [
+            "simulate",
+            "--topology", "mesh",
+            "--nodes", "16",
+            "--pulses", "1",
+            "--damping", "cisco",
+            "--seed", "3",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "convergence time" in out
+    assert "mesh-4x4" in out
+
+
+def test_simulate_damping_off(capsys):
+    code = main(
+        ["simulate", "--topology", "mesh", "--nodes", "16", "--pulses", "2",
+         "--damping", "off", "--seed", "3"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "suppressions" in out
+
+
+def test_simulate_internet_with_rcn(capsys):
+    code = main(
+        ["simulate", "--topology", "internet", "--nodes", "30", "--pulses", "1",
+         "--rcn", "--seed", "3"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "cisco + RCN" in out
+
+
+def test_no_command_errors():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_intended_command(capsys):
+    assert main(["intended", "--pulses", "4", "--vendor", "cisco"]) == 0
+    out = capsys.readouterr().out
+    assert "suppressed" in out
+    assert "yes" in out  # suppression onset at pulse 3
+    assert "cisco" in out
+
+
+def test_intended_command_juniper(capsys):
+    assert main(["intended", "--pulses", "3", "--vendor", "juniper", "--tup", "10"]) == 0
+    out = capsys.readouterr().out
+    assert "juniper" in out
+
+
+def test_run_with_csv_export(capsys, tmp_path):
+    assert main(["run", "T1", "--csv-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "wrote" in out
+    assert (tmp_path / "T1.csv").exists()

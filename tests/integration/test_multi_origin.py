@@ -1,0 +1,105 @@
+"""Integration tests for multi-origin (multi-prefix) scenarios."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import CISCO_DEFAULTS
+from repro.errors import ConfigurationError, SimulationError
+from repro.topology.mesh import mesh_topology
+from repro.workload.multi import MultiOriginScenario
+from repro.workload.pulses import PulseSchedule
+from repro.workload.scenarios import ScenarioConfig
+
+
+@pytest.fixture
+def config():
+    return ScenarioConfig(topology=mesh_topology(5, 5), damping=CISCO_DEFAULTS, seed=9)
+
+
+def test_warmup_converges_all_prefixes(config):
+    scenario = MultiOriginScenario(config, origin_count=3)
+    scenario.warm_up()
+    for router in scenario.routers.values():
+        for origin in scenario.origins:
+            assert router.has_route(origin.prefix)
+
+
+def test_origins_have_distinct_prefixes_and_isps(config):
+    scenario = MultiOriginScenario(config, origin_count=3)
+    prefixes = {origin.prefix for origin in scenario.origins}
+    isps = {origin.isp for origin in scenario.origins}
+    assert len(prefixes) == 3
+    assert len(isps) == 3
+
+
+def test_stable_prefix_unaffected_by_other_flapping(config):
+    scenario = MultiOriginScenario(config, origin_count=2)
+    result = scenario.run([PulseSchedule.regular(1, 60.0), None])
+    by_prefix = {outcome.prefix: outcome for outcome in result.outcomes}
+    # The flapping prefix generated traffic; the stable one stayed quiet.
+    assert by_prefix["p0"].message_count > 0
+    assert by_prefix["p1"].message_count == 0
+    assert by_prefix["p1"].convergence_time == 0.0
+
+
+def test_concurrent_flapping_prefixes_both_measured(config):
+    scenario = MultiOriginScenario(config, origin_count=2)
+    result = scenario.run(
+        [PulseSchedule.regular(1, 60.0), PulseSchedule.regular(3, 60.0)]
+    )
+    by_prefix = {outcome.prefix: outcome for outcome in result.outcomes}
+    assert by_prefix["p0"].message_count > 0
+    assert by_prefix["p1"].message_count > 0
+    assert (
+        result.total_messages
+        == by_prefix["p0"].message_count + by_prefix["p1"].message_count
+    )
+    assert by_prefix["p0"].pulses == 1
+    assert by_prefix["p1"].pulses == 3
+
+
+def test_per_prefix_damping_is_independent(config):
+    """Damping penalties are per (peer, prefix): flapping p0 must not
+    suppress anyone's p1 entries."""
+    scenario = MultiOriginScenario(config, origin_count=2)
+    scenario.warm_up()
+    result = scenario.run([PulseSchedule.regular(3, 60.0), None])
+    del result
+    for router in scenario.routers.values():
+        if router.damping is None:
+            continue
+        for peer, prefix in router.damping.suppressed_entries():
+            assert prefix == "p0", f"{router.name} suppressed {prefix} via {peer}"
+
+
+def test_schedule_count_must_match(config):
+    scenario = MultiOriginScenario(config, origin_count=2)
+    with pytest.raises(ConfigurationError):
+        scenario.run([PulseSchedule.regular(1)])
+
+
+def test_run_twice_rejected(config):
+    scenario = MultiOriginScenario(config, origin_count=1)
+    scenario.run([PulseSchedule.regular(1)])
+    with pytest.raises(SimulationError):
+        scenario.run([PulseSchedule.regular(1)])
+
+
+def test_origin_count_validation(config):
+    with pytest.raises(ConfigurationError):
+        MultiOriginScenario(config, origin_count=0)
+    with pytest.raises(ConfigurationError):
+        MultiOriginScenario(config, origin_count=26)
+
+
+def test_irregular_pattern_through_scenario(config):
+    import random
+
+    from repro.workload.patterns import poisson_pattern
+
+    scenario = MultiOriginScenario(config, origin_count=1)
+    schedule = poisson_pattern(2, 60.0, 60.0, random.Random(3))
+    result = scenario.run([schedule])
+    assert result.outcomes[0].message_count > 0
+    assert scenario.engine.pending_count == 0

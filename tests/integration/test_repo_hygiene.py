@@ -1,0 +1,99 @@
+"""Repository-level consistency checks.
+
+These guard the promises the documentation makes: every experiment in
+the registry has a benchmark that regenerates it, every example script
+is syntactically valid and importable, and the public API exports
+resolve.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+
+import pytest
+
+import repro
+from repro.experiments.registry import EXPERIMENTS
+
+REPO_ROOT = pathlib.Path(repro.__file__).resolve().parents[2]
+BENCH_DIR = REPO_ROOT / "benchmarks"
+EXAMPLES_DIR = REPO_ROOT / "examples"
+
+
+def _bench_sources() -> str:
+    return "\n".join(
+        path.read_text(encoding="utf-8") for path in BENCH_DIR.glob("test_*.py")
+    )
+
+
+def test_every_registered_experiment_has_a_benchmark():
+    sources = _bench_sources()
+    import repro.experiments.registry as registry_module
+
+    source_of_registry = pathlib.Path(registry_module.__file__).read_text()
+    del source_of_registry
+    for experiment_id, driver in EXPERIMENTS.items():
+        assert driver.__name__ in sources, (
+            f"experiment {experiment_id} ({driver.__name__}) has no benchmark"
+        )
+
+
+def test_every_experiment_driver_is_callable_without_arguments():
+    import inspect
+
+    for experiment_id, driver in EXPERIMENTS.items():
+        signature = inspect.signature(driver)
+        required = [
+            name
+            for name, parameter in signature.parameters.items()
+            if parameter.default is inspect.Parameter.empty
+            and parameter.kind
+            in (
+                inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                inspect.Parameter.KEYWORD_ONLY,
+            )
+        ]
+        assert not required, f"{experiment_id}: required params {required}"
+
+
+def test_examples_parse_and_have_main():
+    scripts = sorted(EXAMPLES_DIR.glob("*.py"))
+    assert len(scripts) >= 5, "expected at least five example scripts"
+    for script in scripts:
+        tree = ast.parse(script.read_text(encoding="utf-8"))
+        functions = {
+            node.name for node in ast.walk(tree) if isinstance(node, ast.FunctionDef)
+        }
+        assert "main" in functions, f"{script.name} has no main()"
+        assert ast.get_docstring(tree), f"{script.name} has no module docstring"
+
+
+def test_public_api_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"repro.__all__ lists missing name {name!r}"
+
+
+def test_all_documented_artefacts_registered():
+    """DESIGN.md's experiment index and the registry must agree."""
+    design = (REPO_ROOT / "DESIGN.md").read_text(encoding="utf-8")
+    for experiment_id in EXPERIMENTS:
+        assert f"| {experiment_id} " in design, (
+            f"{experiment_id} missing from DESIGN.md experiment index"
+        )
+
+
+def test_every_package_module_has_docstring():
+    source_root = REPO_ROOT / "src" / "repro"
+    missing = []
+    for path in source_root.rglob("*.py"):
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        if ast.get_docstring(tree) is None:
+            missing.append(str(path.relative_to(REPO_ROOT)))
+    assert not missing, f"modules without docstrings: {missing}"
+
+
+@pytest.mark.parametrize("required", ["README.md", "DESIGN.md", "EXPERIMENTS.md"])
+def test_documentation_files_exist(required):
+    path = REPO_ROOT / required
+    assert path.exists() and path.stat().st_size > 1000

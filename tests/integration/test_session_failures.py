@@ -1,0 +1,160 @@
+"""Failure-injection tests: BGP sessions over failing links.
+
+The paper flaps the origin by having it send withdrawals and
+announcements; these tests exercise the other way a route disappears —
+the physical link under a session going down — and check that the
+protocol converges correctly around the failure, that damping state
+survives session bounces, and that a mid-episode core-link failure does
+not wedge the simulation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bgp.mrai import MraiConfig
+from repro.bgp.origin import OriginRouter
+from repro.bgp.router import BgpRouter, RouterConfig
+from repro.core.params import CISCO_DEFAULTS
+from repro.net.link import LinkConfig
+from repro.net.network import Network
+from repro.sim.engine import Engine
+from repro.sim.rng import RngRegistry
+from repro.topology.mesh import mesh_topology
+from repro.workload.pulses import PulseSchedule
+from repro.workload.scenarios import Scenario, ScenarioConfig
+
+
+def build_line(damping=None, charge_on_session_reset=False):
+    """origin -- r1 -- r2 -- r3, plus a detour r1 -- r4 -- r3."""
+    engine = Engine()
+    rng = RngRegistry(11)
+    network = Network(engine, rng)
+    config = RouterConfig(
+        damping=damping,
+        mrai=MraiConfig(base=0.0),
+        charge_on_session_reset=charge_on_session_reset,
+    )
+    routers = {}
+    for name in ("r1", "r2", "r3", "r4"):
+        routers[name] = BgpRouter(name, engine, rng, config=config)
+        network.add_node(routers[name])
+    origin = OriginRouter("origin", engine, rng, prefix="p0", isp="r1")
+    network.add_node(origin)
+    link = LinkConfig(base_delay=0.001, jitter=0.0)
+    for a, b in (("origin", "r1"), ("r1", "r2"), ("r2", "r3"), ("r1", "r4"), ("r4", "r3")):
+        network.add_link(a, b, link)
+    origin.bring_up()
+    engine.run()
+    return engine, network, origin, routers
+
+
+def test_link_down_withdraws_learned_routes():
+    engine, network, origin, routers = build_line()
+    assert routers["r2"].has_route("p0")
+    network.set_link_state("r1", "r2", False)
+    engine.run()
+    # r2 lost its session to r1 but reaches the prefix via r3-r4-r1.
+    assert routers["r2"].has_route("p0")
+    assert routers["r2"].best_route("p0").as_path == ("r3", "r4", "r1", "origin")
+
+
+def test_link_down_no_alternate_becomes_unreachable():
+    engine, network, origin, routers = build_line()
+    network.set_link_state("origin", "r1", False)
+    engine.run()
+    for name in ("r1", "r2", "r3", "r4"):
+        assert not routers[name].has_route("p0")
+
+
+def test_link_recovery_readvertises():
+    engine, network, origin, routers = build_line()
+    network.set_link_state("r1", "r2", False)
+    engine.run()
+    network.set_link_state("r1", "r2", True)
+    engine.run()
+    # Back to the direct path.
+    assert routers["r2"].best_route("p0").as_path == ("r1", "origin")
+    assert routers["r3"].has_route("p0")
+
+
+def test_session_reset_uncharged_by_default():
+    engine, network, origin, routers = build_line(damping=CISCO_DEFAULTS)
+    for _ in range(4):
+        network.set_link_state("r1", "r2", False)
+        engine.run(until=engine.now + 1.0)
+        network.set_link_state("r1", "r2", True)
+        engine.run(until=engine.now + 1.0)
+    assert routers["r2"].damping.penalty_value("r1", "p0") == 0.0
+
+
+def test_session_reset_charged_when_configured():
+    engine, network, origin, routers = build_line(
+        damping=CISCO_DEFAULTS, charge_on_session_reset=True
+    )
+    network.set_link_state("r1", "r2", False)
+    engine.run(until=engine.now + 1.0)
+    assert routers["r2"].damping.penalty_value("r1", "p0") == pytest.approx(
+        1000.0, rel=0.01
+    )
+
+
+def test_damping_state_survives_session_bounce():
+    from repro.bgp.messages import UpdateMessage
+
+    engine, network, origin, routers = build_line(damping=CISCO_DEFAULTS)
+    r2 = routers["r2"]
+    # Flap r2's view of r1's route directly, so that only the (r1, p0)
+    # entry at r2 crosses the cut-off.
+    for _ in range(3):
+        r2.process_update("r1", UpdateMessage(prefix="p0", as_path=None))
+        engine.run(until=engine.now + 1.0)
+        r2.process_update(
+            "r1", UpdateMessage(prefix="p0", as_path=("r1", "origin"))
+        )
+        engine.run(until=engine.now + 1.0)
+    assert r2.damping.is_suppressed("r1", "p0")
+    # With the direct entry suppressed, r2 converged onto the detour.
+    assert r2.best_route("p0").as_path == ("r3", "r4", "r1", "origin")
+    network.set_link_state("r1", "r2", False)
+    engine.run(until=engine.now + 1.0)
+    network.set_link_state("r1", "r2", True)
+    engine.run(until=engine.now + 1.0)
+    # Suppression survives the bounce: r1's fresh announcement cannot be
+    # used until the reuse timer fires, so the detour stays selected.
+    assert r2.damping.is_suppressed("r1", "p0")
+    assert r2.rib_in("r1").route("p0") is not None  # re-learned, unusable
+    assert r2.best_route("p0").as_path == ("r3", "r4", "r1", "origin")
+
+
+def test_set_link_state_idempotent():
+    engine, network, origin, routers = build_line()
+    network.set_link_state("r1", "r2", False)
+    engine.run()
+    sent_before = routers["r2"].stats.updates_sent
+    network.set_link_state("r1", "r2", False)  # already down: no-op
+    engine.run()
+    assert routers["r2"].stats.updates_sent == sent_before
+
+
+def test_core_link_failure_mid_episode_converges():
+    """Fail a mesh link in the middle of a damping episode; the episode
+    must still drain and the network must still converge."""
+    topology = mesh_topology(4, 4)
+    config = ScenarioConfig(topology=topology, damping=CISCO_DEFAULTS, seed=5)
+    scenario = Scenario(config)
+    scenario.warm_up()
+    # Break a link not adjacent to the ISP halfway through the episode.
+    victim_a, victim_b = next(
+        (a, b)
+        for a, b in topology.edges
+        if scenario.isp not in (a, b)
+    )
+    scenario.engine.schedule(
+        90.0, lambda: scenario.network.set_link_state(victim_a, victim_b, False)
+    )
+    result = scenario.run(PulseSchedule.regular(1, 60.0))
+    assert scenario.engine.pending_count == 0
+    for router in scenario.routers.values():
+        assert router.has_route(config.prefix)
+    assert result.message_count > 0

@@ -1,0 +1,98 @@
+"""Integration tests for the scenario event trace and router state dump."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import CISCO_DEFAULTS
+from repro.topology.mesh import mesh_topology
+from repro.workload.pulses import PulseSchedule
+from repro.workload.scenarios import ORIGIN_NAME, Scenario, ScenarioConfig
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    config = ScenarioConfig(topology=mesh_topology(4, 4), damping=CISCO_DEFAULTS, seed=3)
+    scenario = Scenario(config)
+    scenario.warm_up()
+    result = scenario.run(PulseSchedule.regular(2, 60.0))
+    return scenario, result
+
+
+class TestTrace:
+    def test_trace_contains_all_flaps(self, traced_run):
+        _, result = traced_run
+        flaps = result.trace.of_kind("flap")
+        assert len(flaps) == 4  # 2 pulses = 2 downs + 2 ups
+        assert [f.data["status"] for f in flaps] == ["down", "up", "down", "up"]
+        assert all(f.node == ORIGIN_NAME for f in flaps)
+        assert [f.time for f in flaps] == result.flap_times
+
+    def test_trace_update_count_matches_collector(self, traced_run):
+        _, result = traced_run
+        updates = result.trace.of_kind("update")
+        assert len(updates) == result.collector.message_count
+
+    def test_trace_suppress_reuse_balance(self, traced_run):
+        _, result = traced_run
+        suppressed = result.trace.of_kind("suppress")
+        reused = result.trace.of_kind("reuse")
+        assert len(suppressed) == result.summary.total_suppressions
+        # The run drains completely, so every suppression was reused.
+        assert len(reused) == len(suppressed)
+
+    def test_trace_is_time_ordered(self, traced_run):
+        _, result = traced_run
+        times = [record.time for record in result.trace]
+        assert times == sorted(times)
+
+    def test_trace_spans_the_episode(self, traced_run):
+        _, result = traced_run
+        first, last = result.trace.span()
+        assert first == result.flap_times[0]
+        assert last <= result.end_time
+
+
+class TestDumpState:
+    def test_dump_reflects_best_route(self, traced_run):
+        scenario, result = traced_run
+        prefix = scenario.config.prefix
+        for router in scenario.routers.values():
+            snapshot = router.dump_state(prefix)
+            entry = snapshot["prefixes"][prefix]
+            assert entry["best"] == router.best_route(prefix).as_path
+            assert entry["originated"] is False
+
+    def test_dump_rib_in_consistency(self, traced_run):
+        scenario, _ = traced_run
+        prefix = scenario.config.prefix
+        isp_router = scenario.routers[scenario.isp]
+        snapshot = isp_router.dump_state(prefix)
+        rib_in = snapshot["prefixes"][prefix]["rib_in"]
+        assert ORIGIN_NAME in rib_in
+        assert rib_in[ORIGIN_NAME]["path"] == (ORIGIN_NAME,)
+        assert rib_in[ORIGIN_NAME]["ever_announced"] is True
+        assert rib_in[ORIGIN_NAME]["penalty"] >= 0.0
+
+    def test_dump_origin_shows_origination(self, traced_run):
+        scenario, _ = traced_run
+        snapshot = scenario.origin.dump_state()
+        entry = snapshot["prefixes"][scenario.config.prefix]
+        assert entry["originated"] is True
+        assert entry["best"] == (ORIGIN_NAME,)
+
+    def test_dump_all_prefixes_default(self, traced_run):
+        scenario, _ = traced_run
+        router = next(iter(scenario.routers.values()))
+        snapshot = router.dump_state()
+        assert scenario.config.prefix in snapshot["prefixes"]
+        assert snapshot["router"] == router.name
+
+    def test_dump_is_plain_data(self, traced_run):
+        import json
+
+        scenario, _ = traced_run
+        router = next(iter(scenario.routers.values()))
+        snapshot = router.dump_state()
+        # Tuples serialise as lists; everything else must be JSON-safe.
+        json.dumps(snapshot, default=list)

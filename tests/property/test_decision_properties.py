@@ -1,0 +1,83 @@
+"""Property-based tests for the decision process."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bgp.attrs import Route
+from repro.bgp.decision import rank_candidates, select_best
+
+as_names = st.text(alphabet="abcdefgh", min_size=1, max_size=3)
+
+
+@st.composite
+def candidate_lists(draw):
+    count = draw(st.integers(min_value=1, max_value=8))
+    candidates = []
+    used_peers = set()
+    for i in range(count):
+        peer = f"peer{i}"
+        used_peers.add(peer)
+        path_tail = draw(
+            st.lists(as_names, min_size=0, max_size=5)
+        )
+        path = (peer,) + tuple(f"x{j}-{p}" for j, p in enumerate(path_tail)) + ("origin",)
+        candidates.append(
+            (peer, Route(prefix="p0", as_path=path, learned_from=peer))
+        )
+    return candidates
+
+
+def constant_pref(peer: str, route: Route) -> int:
+    del peer, route
+    return 100
+
+
+@given(candidates=candidate_lists())
+def test_best_is_first_of_ranking(candidates):
+    best = select_best(candidates, constant_pref)
+    ranked = rank_candidates(candidates, constant_pref)
+    assert best == ranked[0]
+
+
+@given(candidates=candidate_lists(), seed=st.integers(min_value=0, max_value=999))
+def test_selection_is_permutation_invariant(candidates, seed):
+    import random
+
+    shuffled = list(candidates)
+    random.Random(seed).shuffle(shuffled)
+    assert select_best(candidates, constant_pref) == select_best(
+        shuffled, constant_pref
+    )
+
+
+@given(candidates=candidate_lists())
+def test_best_has_minimal_length_under_constant_pref(candidates):
+    best = select_best(candidates, constant_pref)
+    assert best is not None
+    shortest = min(route.path_length for _, route in candidates)
+    assert best[1].path_length == shortest
+
+
+@given(candidates=candidate_lists())
+def test_ranking_is_total_and_stable(candidates):
+    ranked = rank_candidates(candidates, constant_pref)
+    assert len(ranked) == len(candidates)
+    assert set(peer for peer, _ in ranked) == set(peer for peer, _ in candidates)
+    lengths = [route.path_length for _, route in ranked]
+    # Within equal local-pref, ranking is by path length then peer name.
+    assert lengths == sorted(lengths)
+
+
+@given(candidates=candidate_lists(), boost_index=st.integers(min_value=0, max_value=7))
+def test_higher_pref_always_wins(candidates, boost_index):
+    boosted_peer = candidates[boost_index % len(candidates)][0]
+
+    def pref(peer: str, route: Route) -> int:
+        del route
+        return 500 if peer == boosted_peer else 100
+
+    best = select_best(candidates, pref)
+    assert best is not None
+    assert best[0] == boosted_peer

@@ -1,0 +1,141 @@
+"""Property-based tests for the MRAI limiter, link FIFO, and the
+selective-damping filter."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bgp.mrai import MraiConfig, MraiLimiter
+from repro.core.params import UpdateKind
+from repro.core.selective import SelectiveDampingFilter, compare_paths
+from repro.net.link import LinkConfig
+from repro.net.message import Message
+from repro.net.network import Network
+from repro.net.node import Node
+from repro.sim.engine import Engine
+from repro.sim.rng import RngRegistry
+
+
+class _Sink(Node):
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.payloads = []
+
+    def handle_message(self, message: Message) -> None:
+        self.payloads.append(message.payload)
+
+
+# ----------------------------------------------------------------------
+# MRAI limiter
+# ----------------------------------------------------------------------
+
+mrai_actions = st.lists(
+    st.one_of(
+        st.tuples(st.just("send"), st.sampled_from(["p1", "p2"])),
+        st.tuples(st.just("defer"), st.sampled_from(["p1", "p2"])),
+        st.tuples(st.just("wait"), st.floats(min_value=0.1, max_value=60.0)),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+@given(actions=mrai_actions, seed=st.integers(min_value=0, max_value=100))
+@settings(max_examples=60, deadline=None)
+def test_mrai_limiter_invariants(actions, seed):
+    engine = Engine()
+    flushes = []
+
+    def flush(peer: str, prefixes: set) -> bool:
+        flushes.append((engine.now, peer, set(prefixes)))
+        return True
+
+    limiter = MraiLimiter(
+        engine, MraiConfig(base=30.0), "r", RngRegistry(seed), flush
+    )
+    for action in actions:
+        if action[0] == "send":
+            peer = action[1]
+            if limiter.may_send_now(peer):
+                limiter.note_sent(peer)
+                # Invariant: immediately after a send, the peer is held off.
+                assert not limiter.may_send_now(peer)
+        elif action[0] == "defer":
+            peer = action[1]
+            if not limiter.may_send_now(peer):
+                limiter.defer(peer, "p0")
+        else:
+            engine.run(until=engine.now + action[1])
+    engine.run()
+    # Invariant: every flush delivered a non-empty prefix set, at a time
+    # no earlier than 0.75 * base after some send.
+    for time, peer, prefixes in flushes:
+        assert prefixes
+        assert time >= 30.0 * 0.75 - 1e-9
+    # Invariant: after a full drain nothing is pending and all peers may
+    # send again.
+    assert not limiter.has_pending()
+    assert limiter.may_send_now("p1") and limiter.may_send_now("p2")
+
+
+# ----------------------------------------------------------------------
+# link FIFO under arbitrary jitter
+# ----------------------------------------------------------------------
+
+
+@given(
+    count=st.integers(min_value=1, max_value=40),
+    jitter=st.floats(min_value=0.0, max_value=2.0),
+    seed=st.integers(min_value=0, max_value=100),
+)
+@settings(max_examples=40, deadline=None)
+def test_link_preserves_fifo_for_any_jitter(count, jitter, seed):
+    engine = Engine()
+    network = Network(engine, RngRegistry(seed))
+    a = network.add_node(_Sink("a"))
+    b = network.add_node(_Sink("b"))
+    network.add_link("a", "b", LinkConfig(base_delay=0.01, jitter=jitter))
+    for i in range(count):
+        a.send("b", i)
+    engine.run()
+    assert b.payloads == list(range(count))
+
+
+# ----------------------------------------------------------------------
+# selective-damping filter
+# ----------------------------------------------------------------------
+
+path_lengths = st.lists(st.integers(min_value=1, max_value=12), min_size=2, max_size=20)
+
+
+@given(lengths=path_lengths)
+def test_selective_filters_every_consistent_worsening_step(lengths):
+    """A strictly worsening announcement chain after the first element is
+    pure path exploration: every tagged step must be filtered."""
+    worsening = sorted(set(lengths))
+    if len(worsening) < 2:
+        return
+    selective = SelectiveDampingFilter()
+    previous = None
+    for index, length in enumerate(worsening):
+        preference = compare_paths(previous, length)
+        charged = selective.should_charge("p", UpdateKind.ATTRIBUTE_CHANGE, preference)
+        if index == 0:
+            assert charged  # first announcement always charges
+        else:
+            assert not charged, f"step to length {length} wrongly charged"
+        previous = length
+
+
+@given(lengths=path_lengths)
+def test_compare_paths_direction_consistency(lengths):
+    for previous, new in zip(lengths, lengths[1:]):
+        preference = compare_paths(previous, new)
+        if new > previous:
+            assert preference.direction == -1
+        elif new < previous:
+            assert preference.direction == 1
+        else:
+            assert preference.direction == 0
+        assert preference.path_length == new

@@ -1,0 +1,89 @@
+"""Property-based tests for the RCN history filter and the intended model."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.intended import IntendedBehaviorModel
+from repro.core.params import CISCO_DEFAULTS, JUNIPER_DEFAULTS
+from repro.core.rcn import RootCause, RootCauseHistory
+
+causes = st.builds(
+    RootCause,
+    link=st.just(("o", "i")),
+    status=st.sampled_from(["down", "up"]),
+    seq=st.integers(min_value=0, max_value=20),
+)
+
+peers = st.sampled_from(["a", "b", "c"])
+
+
+@given(sequence=st.lists(st.tuples(peers, causes), min_size=1, max_size=100))
+def test_each_unique_cause_charges_exactly_once_per_peer(sequence):
+    history = RootCauseHistory()
+    charged = set()
+    for peer, cause in sequence:
+        if history.should_charge(peer, cause):
+            assert (peer, cause.key) not in charged
+            charged.add((peer, cause.key))
+        else:
+            assert (peer, cause.key) in charged
+    assert history.charged_count == len(charged)
+    assert history.charged_count + history.filtered_count == len(sequence)
+
+
+@given(
+    sequence=st.lists(causes, min_size=1, max_size=60),
+    capacity=st.integers(min_value=1, max_value=10),
+)
+@settings(max_examples=60)
+def test_history_size_never_exceeds_capacity(sequence, capacity):
+    history = RootCauseHistory(capacity=capacity)
+    for cause in sequence:
+        history.should_charge("peer", cause)
+        assert history.peer_history_size("peer") <= capacity
+
+
+@given(pulses=st.integers(min_value=0, max_value=30),
+       interval=st.floats(min_value=10.0, max_value=600.0))
+def test_intended_prediction_invariants(pulses, interval):
+    model = IntendedBehaviorModel(CISCO_DEFAULTS, flap_interval=interval, tup=30.0)
+    prediction = model.predict(pulses)
+    assert prediction.pulses == pulses
+    assert prediction.penalty_at_final >= 0.0
+    assert prediction.penalty_at_final <= CISCO_DEFAULTS.penalty_ceiling + 1e-9
+    assert prediction.reuse_delay >= 0.0
+    assert prediction.reuse_delay <= CISCO_DEFAULTS.max_hold_down + 1e-6
+    if prediction.suppressed:
+        assert prediction.suppression_pulse is not None
+        assert 1 <= prediction.suppression_pulse <= pulses
+        assert prediction.convergence_time >= model.tup
+    else:
+        assert prediction.reuse_delay == 0.0
+        assert prediction.convergence_time == (model.tup if pulses else 0.0)
+
+
+@given(interval=st.floats(min_value=10.0, max_value=200.0))
+def test_convergence_nondecreasing_past_suppression(interval):
+    model = IntendedBehaviorModel(CISCO_DEFAULTS, flap_interval=interval, tup=30.0)
+    critical = model.critical_pulse_count(max_pulses=20)
+    if critical is None:
+        return
+    previous = 0.0
+    for n in range(critical, critical + 10):
+        value = model.predict(n).convergence_time
+        assert value >= previous - 1e-9
+        previous = value
+
+
+@given(pulses=st.integers(min_value=1, max_value=15))
+def test_juniper_penalty_at_least_cisco(pulses):
+    """Juniper charges re-announcements too, so its penalty after any
+    regular pulse train is >= Cisco's."""
+    cisco = IntendedBehaviorModel(CISCO_DEFAULTS, flap_interval=60.0, tup=0.0)
+    juniper = IntendedBehaviorModel(JUNIPER_DEFAULTS, flap_interval=60.0, tup=0.0)
+    assert (
+        juniper.penalty_after_pulses(pulses)
+        >= cisco.penalty_after_pulses(pulses) - 1e-9
+    )

@@ -1,0 +1,114 @@
+"""Unit tests for the public invariant checker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.invariants import (
+    InvariantReport,
+    InvariantViolation,
+    check_converged_invariants,
+)
+from repro.core.params import CISCO_DEFAULTS
+from repro.errors import SimulationError
+from repro.topology.mesh import mesh_topology
+from repro.workload.pulses import PulseSchedule
+from repro.workload.scenarios import Scenario, ScenarioConfig
+
+
+@pytest.fixture(scope="module")
+def drained_scenario():
+    config = ScenarioConfig(topology=mesh_topology(4, 4), damping=CISCO_DEFAULTS, seed=8)
+    scenario = Scenario(config)
+    scenario.warm_up()
+    scenario.run(PulseSchedule.regular(1, 60.0))
+    return scenario
+
+
+def test_clean_run_passes(drained_scenario):
+    report = check_converged_invariants(drained_scenario)
+    assert report.ok
+    assert report.routers_checked == 16
+    report.raise_on_violation()  # must not raise
+
+
+def test_detects_missing_route(drained_scenario):
+    prefix = drained_scenario.config.prefix
+    victim = next(iter(drained_scenario.routers.values()))
+    saved = victim.loc_rib.route(prefix)
+    try:
+        victim.loc_rib.set_route(prefix, None)
+        report = check_converged_invariants(drained_scenario)
+        assert not report.ok
+        assert any(v.invariant == "reachability" for v in report.violations)
+        with pytest.raises(SimulationError):
+            report.raise_on_violation()
+    finally:
+        victim.loc_rib.set_route(prefix, saved)
+
+
+def test_detects_decision_inconsistency(drained_scenario):
+    from repro.bgp.attrs import Route
+
+    prefix = drained_scenario.config.prefix
+    victim = next(iter(drained_scenario.routers.values()))
+    saved = victim.loc_rib.route(prefix)
+    neighbor = victim.neighbors[0]
+    bogus = Route(
+        prefix=prefix,
+        as_path=(neighbor, "originAS"),
+        learned_from=neighbor,
+    )
+    try:
+        victim.loc_rib.set_route(prefix, bogus)
+        report = check_converged_invariants(drained_scenario)
+        assert any(
+            v.invariant in ("decision-consistency", "realisability")
+            for v in report.violations
+        )
+    finally:
+        victim.loc_rib.set_route(prefix, saved)
+
+
+def test_detects_phantom_hop(drained_scenario):
+    from repro.bgp.attrs import Route
+
+    prefix = drained_scenario.config.prefix
+    victim = next(iter(drained_scenario.routers.values()))
+    saved = victim.loc_rib.route(prefix)
+    bogus = Route(prefix=prefix, as_path=("nowhere", "originAS"), learned_from="nowhere")
+    try:
+        victim.loc_rib.set_route(prefix, bogus)
+        report = check_converged_invariants(drained_scenario)
+        assert any(v.invariant == "realisability" for v in report.violations)
+    finally:
+        victim.loc_rib.set_route(prefix, saved)
+
+
+def test_expect_reachable_false_allows_withdrawn_state():
+    """After a final 'down', unreachability is the correct converged
+    state and must not be flagged."""
+    config = ScenarioConfig(topology=mesh_topology(3, 3), damping=None, seed=2)
+    scenario = Scenario(config)
+    scenario.warm_up()
+    # Drive a custom schedule ending 'up', then withdraw manually and
+    # drain so the network converges to all-withdrawn.
+    scenario.run(PulseSchedule.regular(1, 60.0))
+    scenario.origin.take_down()
+    scenario.engine.run()
+    report = check_converged_invariants(scenario, expect_reachable=False)
+    assert report.ok
+    strict = check_converged_invariants(scenario, expect_reachable=True)
+    assert not strict.ok
+
+
+def test_violation_str():
+    violation = InvariantViolation("r1", "loop-freedom", "self in path")
+    assert "r1" in str(violation)
+    assert "loop-freedom" in str(violation)
+
+
+def test_empty_report_ok():
+    report = InvariantReport()
+    assert report.ok
+    report.raise_on_violation()

@@ -1,0 +1,158 @@
+"""Unit tests for the Section 3 intended-behaviour model."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.intended import (
+    FlapEvent,
+    IntendedBehaviorModel,
+    pulse_events,
+)
+from repro.core.params import CISCO_DEFAULTS, JUNIPER_DEFAULTS, UpdateKind
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def model():
+    return IntendedBehaviorModel(CISCO_DEFAULTS, flap_interval=60.0, tup=30.0)
+
+
+def test_pulse_events_structure():
+    events = pulse_events(2, 60.0)
+    assert [(e.time, e.kind) for e in events] == [
+        (0.0, UpdateKind.WITHDRAWAL),
+        (60.0, UpdateKind.REANNOUNCEMENT),
+        (120.0, UpdateKind.WITHDRAWAL),
+        (180.0, UpdateKind.REANNOUNCEMENT),
+    ]
+
+
+def test_pulse_events_zero():
+    assert pulse_events(0, 60.0) == []
+
+
+def test_pulse_events_validation():
+    with pytest.raises(ConfigurationError):
+        pulse_events(-1, 60.0)
+    with pytest.raises(ConfigurationError):
+        pulse_events(1, 0.0)
+
+
+def test_no_suppression_for_one_or_two_pulses(model):
+    """Paper: 'when the number of pulses n = 1 or 2, route suppression is
+    not triggered and the convergence time is the same as no damping'."""
+    for n in (1, 2):
+        prediction = model.predict(n)
+        assert not prediction.suppressed
+        assert prediction.convergence_time == model.tup
+        assert prediction.suppression_pulse is None
+
+
+def test_suppression_from_third_pulse(model):
+    """Paper: 'when n >= 3, route suppression is triggered'."""
+    prediction = model.predict(3)
+    assert prediction.suppressed
+    assert prediction.suppression_pulse == 3
+    assert prediction.convergence_time > model.tup
+
+
+def test_penalty_after_pulses_matches_recurrence(model):
+    params = CISCO_DEFAULTS
+    lam = params.decay_constant
+    # Withdrawals at 0, 120, 240; final announcement at 300 adds 0 (Cisco).
+    expected = (
+        1000.0 * math.exp(-lam * 300.0)
+        + 1000.0 * math.exp(-lam * 180.0)
+        + 1000.0 * math.exp(-lam * 60.0)
+    )
+    assert model.penalty_after_pulses(3) == pytest.approx(expected)
+
+
+def test_reuse_delay_formula(model):
+    prediction = model.predict(5)
+    lam = CISCO_DEFAULTS.decay_constant
+    expected = math.log(prediction.penalty_at_final / 750.0) / lam
+    assert prediction.reuse_delay == pytest.approx(expected)
+    assert prediction.convergence_time == pytest.approx(expected + model.tup)
+
+
+def test_convergence_monotone_in_pulses_once_suppressed(model):
+    previous = 0.0
+    for n in range(3, 12):
+        value = model.predict(n).convergence_time
+        assert value >= previous
+        previous = value
+
+
+def test_convergence_bounded_by_max_hold_down(model):
+    prediction = model.predict(60)
+    assert prediction.reuse_delay <= CISCO_DEFAULTS.max_hold_down + 1e-6
+
+
+def test_zero_pulses(model):
+    prediction = model.predict(0)
+    assert prediction.convergence_time == 0.0
+    assert not prediction.suppressed
+
+
+def test_critical_pulse_count_cisco(model):
+    assert model.critical_pulse_count() == 3
+
+
+def test_juniper_model_differs():
+    """Juniper charges re-announcements too but cuts off at 3000."""
+    juniper = IntendedBehaviorModel(JUNIPER_DEFAULTS, flap_interval=60.0, tup=30.0)
+    # Pulse 1: 1000 (down) + 1000 (up) = ~2000 < 3000 -> not suppressed.
+    assert not juniper.predict(1).suppressed
+    # Pulse 2 pushes past 3000.
+    assert juniper.predict(2).suppressed
+
+
+def test_longer_interval_delays_suppression():
+    # With 14-minute gaps between withdrawals, suppression needs more
+    # than three pulses (the penalty partially decays between flaps).
+    medium = IntendedBehaviorModel(CISCO_DEFAULTS, flap_interval=420.0, tup=30.0)
+    assert not medium.predict(3).suppressed
+    assert medium.critical_pulse_count() > 3
+    # With 20-minute gaps the geometric sum never reaches the cutoff:
+    # suppression is never triggered at all.
+    slow = IntendedBehaviorModel(CISCO_DEFAULTS, flap_interval=600.0, tup=30.0)
+    assert slow.critical_pulse_count() is None
+
+
+def test_trajectory_tracks_suppression_flag(model):
+    events = pulse_events(4, 60.0)
+    trajectory = model.penalty_trajectory(events)
+    flags = [s for _, _, s in trajectory]
+    # Not suppressed for the first two pulses (4 events), suppressed after.
+    assert flags[:4] == [False, False, False, False]
+    assert flags[4] is True
+
+
+def test_trajectory_reuse_resets_flag(model):
+    """A long quiet gap lets the penalty decay below reuse; a later flap
+    starts unsuppressed."""
+    events = [
+        FlapEvent(0.0, UpdateKind.WITHDRAWAL),
+        FlapEvent(120.0, UpdateKind.WITHDRAWAL),
+        FlapEvent(240.0, UpdateKind.WITHDRAWAL),  # suppressed here
+        FlapEvent(240.0 + 6 * 3600.0, UpdateKind.WITHDRAWAL),  # long gap
+    ]
+    trajectory = model.penalty_trajectory(events)
+    assert trajectory[2][2] is True
+    assert trajectory[3][2] is False
+
+
+def test_sweep(model):
+    predictions = model.sweep(range(0, 5))
+    assert [p.pulses for p in predictions] == [0, 1, 2, 3, 4]
+
+
+def test_model_validation():
+    with pytest.raises(ConfigurationError):
+        IntendedBehaviorModel(CISCO_DEFAULTS, flap_interval=0.0)
+    with pytest.raises(ConfigurationError):
+        IntendedBehaviorModel(CISCO_DEFAULTS, tup=-1.0)

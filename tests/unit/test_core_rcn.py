@@ -1,0 +1,118 @@
+"""Unit tests for Root Cause Notification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rcn import RootCause, RootCauseGenerator, RootCauseHistory
+from repro.errors import ConfigurationError
+
+
+def rc(seq: int, status: str = "down") -> RootCause:
+    return RootCause(link=("origin", "isp"), status=status, seq=seq)
+
+
+def test_root_cause_validation():
+    with pytest.raises(ConfigurationError):
+        RootCause(link=("a", "b"), status="sideways", seq=1)
+    with pytest.raises(ConfigurationError):
+        RootCause(link=("a", "b"), status="up", seq=-1)
+
+
+def test_root_cause_is_hashable_value():
+    assert rc(1) == rc(1)
+    assert rc(1) != rc(2)
+    assert rc(1, "down") != rc(1, "up")
+    assert len({rc(1), rc(1), rc(2)}) == 2
+
+
+def test_root_cause_str_matches_paper_notation():
+    assert str(rc(3, "up")) == "{[origin isp], up, 3}"
+
+
+def test_generator_monotonic_sequence():
+    generator = RootCauseGenerator(("origin", "isp"))
+    first = generator.next_cause("down")
+    second = generator.next_cause("up")
+    assert first.seq == 1
+    assert second.seq == 2
+    assert generator.last_seq == 2
+    assert first.link == ("origin", "isp")
+
+
+def test_history_charges_first_occurrence_only():
+    history = RootCauseHistory()
+    assert history.should_charge("peer", rc(1)) is True
+    assert history.should_charge("peer", rc(1)) is False
+    assert history.should_charge("peer", rc(1)) is False
+    assert history.charged_count == 1
+    assert history.filtered_count == 2
+
+
+def test_history_is_per_peer():
+    history = RootCauseHistory()
+    assert history.should_charge("peer-a", rc(1)) is True
+    assert history.should_charge("peer-b", rc(1)) is True
+
+
+def test_updates_without_cause_always_charge():
+    history = RootCauseHistory()
+    assert history.should_charge("peer", None) is True
+    assert history.should_charge("peer", None) is True
+    assert history.charged_count == 2
+
+
+def test_distinct_causes_charge_separately():
+    history = RootCauseHistory()
+    assert history.should_charge("peer", rc(1, "down")) is True
+    assert history.should_charge("peer", rc(1, "up")) is True
+    assert history.should_charge("peer", rc(2, "down")) is True
+
+
+def test_has_seen():
+    history = RootCauseHistory()
+    assert not history.has_seen("peer", rc(1))
+    history.should_charge("peer", rc(1))
+    assert history.has_seen("peer", rc(1))
+    assert not history.has_seen("other", rc(1))
+
+
+def test_capacity_evicts_oldest():
+    history = RootCauseHistory(capacity=3)
+    for i in range(1, 5):
+        history.should_charge("peer", rc(i))
+    assert not history.has_seen("peer", rc(1))  # evicted
+    assert history.has_seen("peer", rc(4))
+    # The evicted cause charges again.
+    assert history.should_charge("peer", rc(1)) is True
+
+
+def test_recent_use_refreshes_lru_position():
+    history = RootCauseHistory(capacity=2)
+    history.should_charge("peer", rc(1))
+    history.should_charge("peer", rc(2))
+    history.should_charge("peer", rc(1))  # refresh 1
+    history.should_charge("peer", rc(3))  # evicts 2, not 1
+    assert history.has_seen("peer", rc(1))
+    assert not history.has_seen("peer", rc(2))
+
+
+def test_invalid_capacity():
+    with pytest.raises(ConfigurationError):
+        RootCauseHistory(capacity=0)
+
+
+def test_clear():
+    history = RootCauseHistory()
+    history.should_charge("peer", rc(1))
+    history.clear()
+    assert history.charged_count == 0
+    assert history.should_charge("peer", rc(1)) is True
+
+
+def test_peer_history_size():
+    history = RootCauseHistory()
+    assert history.peer_history_size("peer") == 0
+    history.should_charge("peer", rc(1))
+    history.should_charge("peer", rc(2))
+    assert history.peer_history_size("peer") == 2

@@ -1,0 +1,104 @@
+"""Unit tests for the four-state phase classifier."""
+
+from __future__ import annotations
+
+from repro.core.states import (
+    DampingPhase,
+    classify_phases,
+    phase_durations,
+    releasing_fraction,
+    suppressed_count_function,
+)
+
+
+def test_no_updates_is_converged():
+    intervals = classify_phases([], [0.0], end_time=100.0)
+    assert len(intervals) == 1
+    assert intervals[0].phase is DampingPhase.CONVERGED
+
+
+def test_single_burst_is_charging_then_converged():
+    updates = [1.0, 2.0, 5.0, 10.0]
+    intervals = classify_phases(updates, [0.0], end_time=500.0)
+    assert intervals[0].phase is DampingPhase.CHARGING
+    assert intervals[0].start == 0.0
+    assert intervals[-1].phase is DampingPhase.CONVERGED
+
+
+def test_charging_suppression_releasing_converged():
+    """The canonical n=1 shape: burst, long quiet with suppressed links,
+    late burst, quiet tail."""
+    updates = [1.0, 5.0, 20.0, 50.0] + [1500.0, 1510.0, 1520.0]
+    deltas = [(20.0, +1), (30.0, +1), (1500.0, -1), (1510.0, -1)]
+    count_at = suppressed_count_function(deltas)
+    intervals = classify_phases(
+        updates, [0.0, 60.0], end_time=3000.0, suppressed_count_at=count_at
+    )
+    phases = [interval.phase for interval in intervals]
+    assert phases == [
+        DampingPhase.CHARGING,
+        DampingPhase.SUPPRESSION,
+        DampingPhase.RELEASING,
+        DampingPhase.CONVERGED,
+    ]
+
+
+def test_quiet_gap_without_suppression_is_converged():
+    updates = [1.0, 5.0] + [500.0, 505.0]
+    count_at = suppressed_count_function([])
+    intervals = classify_phases(
+        updates, [0.0], end_time=1000.0, suppressed_count_at=count_at
+    )
+    phases = [interval.phase for interval in intervals]
+    assert DampingPhase.SUPPRESSION not in phases
+    assert phases.count(DampingPhase.CONVERGED) >= 1
+
+
+def test_multiple_releasing_waves():
+    updates = [1.0] + [1000.0, 1010.0] + [2000.0, 2010.0]
+    deltas = [(1.0, +1), (2500.0, -1)]
+    count_at = suppressed_count_function(deltas)
+    intervals = classify_phases(
+        updates, [0.0], end_time=3000.0, suppressed_count_at=count_at
+    )
+    releasing = [i for i in intervals if i.phase is DampingPhase.RELEASING]
+    assert len(releasing) == 2
+
+
+def test_bursts_during_flapping_merge_into_charging():
+    """With 3 pulses 120s apart, the per-pulse bursts are one charging
+    phase even though they are separated by >gap quiet."""
+    updates = [1.0, 2.0, 121.0, 122.0, 241.0, 242.0]
+    intervals = classify_phases(
+        updates, [0.0, 60.0, 120.0, 180.0, 240.0, 300.0], end_time=1000.0, gap=60.0
+    )
+    charging = [i for i in intervals if i.phase is DampingPhase.CHARGING]
+    assert len(charging) == 1
+    assert charging[0].end >= 242.0
+
+
+def test_phase_durations_sum():
+    updates = [1.0, 5.0, 500.0]
+    intervals = classify_phases(updates, [0.0], end_time=1000.0)
+    durations = phase_durations(intervals)
+    assert sum(durations.values()) > 0
+
+
+def test_releasing_fraction_zero_without_releasing():
+    updates = [1.0, 2.0]
+    intervals = classify_phases(updates, [0.0], end_time=100.0)
+    assert releasing_fraction(intervals) == 0.0
+
+
+def test_suppressed_count_function_steps():
+    count_at = suppressed_count_function([(1.0, +1), (2.0, +1), (3.0, -1)])
+    assert count_at(0.5) == 0
+    assert count_at(1.0) == 1
+    assert count_at(2.5) == 2
+    assert count_at(3.5) == 1
+
+
+def test_interval_duration():
+    intervals = classify_phases([1.0], [0.0], end_time=10.0)
+    assert all(interval.duration >= 0 for interval in intervals)
+    assert intervals[-1].end == 10.0

@@ -1,0 +1,227 @@
+"""Unit tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine, call_soon, format_time
+
+
+def test_clock_starts_at_zero():
+    assert Engine().now == 0.0
+
+
+def test_clock_custom_start():
+    assert Engine(start_time=10.0).now == 10.0
+
+
+def test_schedule_and_run_single_event():
+    engine = Engine()
+    fired = []
+    engine.schedule(5.0, lambda: fired.append(engine.now))
+    engine.run()
+    assert fired == [5.0]
+    assert engine.now == 5.0
+
+
+def test_events_fire_in_time_order():
+    engine = Engine()
+    order = []
+    engine.schedule(3.0, lambda: order.append("c"))
+    engine.schedule(1.0, lambda: order.append("a"))
+    engine.schedule(2.0, lambda: order.append("b"))
+    engine.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_in_scheduling_order():
+    engine = Engine()
+    order = []
+    for label in ("first", "second", "third"):
+        engine.schedule(1.0, lambda lab=label: order.append(lab))
+    engine.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_schedule_at_absolute_time():
+    engine = Engine()
+    fired = []
+    engine.schedule_at(7.5, lambda: fired.append(engine.now))
+    engine.run()
+    assert fired == [7.5]
+
+
+def test_schedule_in_past_raises():
+    engine = Engine()
+    engine.schedule(1.0, lambda: None)
+    engine.run()
+    with pytest.raises(SimulationError):
+        engine.schedule_at(0.5, lambda: None)
+
+
+def test_negative_delay_raises():
+    with pytest.raises(SimulationError):
+        Engine().schedule(-1.0, lambda: None)
+
+
+def test_non_finite_time_raises():
+    engine = Engine()
+    with pytest.raises(SimulationError):
+        engine.schedule_at(float("inf"), lambda: None)
+    with pytest.raises(SimulationError):
+        engine.schedule_at(float("nan"), lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    engine = Engine()
+    fired = []
+    event = engine.schedule(1.0, lambda: fired.append("cancelled"))
+    engine.schedule(2.0, lambda: fired.append("kept"))
+    event.cancel()
+    engine.run()
+    assert fired == ["kept"]
+
+
+def test_events_scheduled_during_run_are_executed():
+    engine = Engine()
+    fired = []
+
+    def chain():
+        fired.append(engine.now)
+        if engine.now < 3.0:
+            engine.schedule(1.0, chain)
+
+    engine.schedule(1.0, chain)
+    engine.run()
+    assert fired == [1.0, 2.0, 3.0]
+
+
+def test_run_until_stops_before_later_events():
+    engine = Engine()
+    fired = []
+    engine.schedule(1.0, lambda: fired.append(1))
+    engine.schedule(10.0, lambda: fired.append(10))
+    executed = engine.run(until=5.0)
+    assert executed == 1
+    assert fired == [1]
+    assert engine.now == 5.0  # run() advances to the horizon
+    engine.run()
+    assert fired == [1, 10]
+
+
+def test_run_until_idle_does_not_advance_clock_past_last_event():
+    engine = Engine()
+    engine.schedule(2.0, lambda: None)
+    engine.run_until_idle(max_time=100.0)
+    assert engine.now == 2.0
+
+
+def test_run_until_idle_respects_max_time():
+    engine = Engine()
+    fired = []
+    engine.schedule(1.0, lambda: fired.append(1))
+    engine.schedule(50.0, lambda: fired.append(50))
+    engine.run_until_idle(max_time=10.0)
+    assert fired == [1]
+    assert engine.pending_count == 1
+
+
+def test_run_until_idle_event_budget_exceeded_raises():
+    engine = Engine()
+
+    def forever():
+        engine.schedule(0.1, forever)
+
+    engine.schedule(0.0, forever)
+    with pytest.raises(SimulationError):
+        engine.run_until_idle(max_time=1e9, max_events=100)
+
+
+def test_max_events_limits_run():
+    engine = Engine()
+    for i in range(10):
+        engine.schedule(float(i + 1), lambda: None)
+    executed = engine.run(max_events=4)
+    assert executed == 4
+    assert engine.pending_count == 6
+
+
+def test_step_returns_false_on_empty_queue():
+    assert Engine().step() is False
+
+
+def test_step_executes_one_event():
+    engine = Engine()
+    fired = []
+    engine.schedule(1.0, lambda: fired.append(1))
+    engine.schedule(2.0, lambda: fired.append(2))
+    assert engine.step() is True
+    assert fired == [1]
+
+
+def test_pending_count_excludes_cancelled():
+    engine = Engine()
+    keep = engine.schedule(1.0, lambda: None)
+    drop = engine.schedule(2.0, lambda: None)
+    drop.cancel()
+    del keep
+    assert engine.pending_count == 1
+
+
+def test_peek_next_time_skips_cancelled():
+    engine = Engine()
+    first = engine.schedule(1.0, lambda: None)
+    engine.schedule(2.0, lambda: None)
+    first.cancel()
+    assert engine.peek_next_time() == 2.0
+
+
+def test_peek_next_time_empty_queue():
+    assert Engine().peek_next_time() is None
+
+
+def test_run_is_not_reentrant():
+    engine = Engine()
+    errors = []
+
+    def reenter():
+        try:
+            engine.run()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    engine.schedule(1.0, reenter)
+    engine.run()
+    assert len(errors) == 1
+
+
+def test_events_executed_counter():
+    engine = Engine()
+    for i in range(5):
+        engine.schedule(float(i), lambda: None)
+    engine.run()
+    assert engine.events_executed == 5
+
+
+def test_clear_drops_pending_events():
+    engine = Engine()
+    engine.schedule(1.0, lambda: None)
+    engine.clear()
+    assert engine.pending_count == 0
+
+
+def test_call_soon_runs_at_current_time():
+    engine = Engine()
+    engine.schedule(5.0, lambda: None)
+    engine.run()
+    fired = []
+    call_soon(engine, lambda: fired.append(engine.now))
+    engine.run()
+    assert fired == [5.0]
+
+
+def test_format_time():
+    assert format_time(0.0) == "0:00:00.000"
+    assert format_time(3723.5) == "1:02:03.500"
+    assert format_time(59.999) == "0:00:59.999"

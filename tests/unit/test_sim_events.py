@@ -1,0 +1,90 @@
+"""Unit tests for the structured event trace."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.events import EventTrace
+
+
+def test_record_and_len():
+    trace = EventTrace()
+    trace.record(1.0, "update", node="a")
+    trace.record(2.0, "suppress", node="b", peer="c")
+    assert len(trace) == 2
+
+
+def test_records_preserve_data():
+    trace = EventTrace()
+    rec = trace.record(1.0, "update", node="a", size=3)
+    assert rec.data == {"size": 3}
+    assert rec.node == "a"
+    assert rec.kind == "update"
+
+
+def test_out_of_order_append_raises():
+    trace = EventTrace()
+    trace.record(5.0, "update")
+    with pytest.raises(ValueError):
+        trace.record(4.0, "update")
+
+
+def test_equal_time_append_allowed():
+    trace = EventTrace()
+    trace.record(5.0, "a")
+    trace.record(5.0, "b")
+    assert len(trace) == 2
+
+
+def test_of_kind_filters():
+    trace = EventTrace()
+    trace.record(1.0, "update")
+    trace.record(2.0, "suppress")
+    trace.record(3.0, "update")
+    assert [r.time for r in trace.of_kind("update")] == [1.0, 3.0]
+
+
+def test_of_kind_multiple_kinds():
+    trace = EventTrace()
+    trace.record(1.0, "a")
+    trace.record(2.0, "b")
+    trace.record(3.0, "c")
+    assert [r.kind for r in trace.of_kind("a", "c")] == ["a", "c"]
+
+
+def test_times_of_kind():
+    trace = EventTrace()
+    trace.record(1.5, "x")
+    trace.record(2.5, "x")
+    assert trace.times_of_kind("x") == [1.5, 2.5]
+
+
+def test_last_time_of_kind():
+    trace = EventTrace()
+    trace.record(1.0, "x")
+    trace.record(2.0, "y")
+    trace.record(3.0, "x")
+    assert trace.last_time_of_kind("x") == 3.0
+    assert trace.last_time_of_kind("missing") is None
+
+
+def test_window():
+    trace = EventTrace()
+    for t in (1.0, 2.0, 3.0, 4.0):
+        trace.record(t, "x")
+    assert [r.time for r in trace.window(2.0, 4.0)] == [2.0, 3.0]
+
+
+def test_span():
+    trace = EventTrace()
+    assert trace.span() == (0.0, 0.0)
+    trace.record(1.0, "x")
+    trace.record(9.0, "x")
+    assert trace.span() == (1.0, 9.0)
+
+
+def test_iteration_in_order():
+    trace = EventTrace()
+    trace.record(1.0, "a")
+    trace.record(2.0, "b")
+    assert [r.kind for r in trace] == ["a", "b"]

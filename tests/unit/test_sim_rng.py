@@ -1,0 +1,63 @@
+"""Unit tests for named random streams."""
+
+from __future__ import annotations
+
+from repro.sim.rng import RngRegistry
+
+
+def test_same_name_same_stream_object():
+    registry = RngRegistry(1)
+    assert registry.stream("a") is registry.stream("a")
+
+
+def test_same_seed_same_sequence():
+    a = RngRegistry(99).stream("mrai")
+    b = RngRegistry(99).stream("mrai")
+    assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+
+def test_different_names_different_sequences():
+    registry = RngRegistry(99)
+    seq_a = [registry.stream("a").random() for _ in range(5)]
+    seq_b = [registry.stream("b").random() for _ in range(5)]
+    assert seq_a != seq_b
+
+
+def test_different_seeds_different_sequences():
+    a = [RngRegistry(1).stream("x").random() for _ in range(5)]
+    b = [RngRegistry(2).stream("x").random() for _ in range(5)]
+    assert a != b
+
+
+def test_stream_independent_of_creation_order():
+    registry1 = RngRegistry(5)
+    registry1.stream("first")
+    value1 = registry1.stream("second").random()
+    registry2 = RngRegistry(5)
+    value2 = registry2.stream("second").random()
+    assert value1 == value2
+
+
+def test_uniform_within_bounds():
+    registry = RngRegistry(3)
+    for _ in range(100):
+        value = registry.uniform("jitter", 0.75, 1.0)
+        assert 0.75 <= value <= 1.0
+
+
+def test_fork_is_deterministic():
+    a = RngRegistry(7).fork("run-1")
+    b = RngRegistry(7).fork("run-1")
+    assert a.master_seed == b.master_seed
+
+
+def test_fork_differs_from_parent_and_sibling():
+    parent = RngRegistry(7)
+    child1 = parent.fork("run-1")
+    child2 = parent.fork("run-2")
+    assert child1.master_seed != parent.master_seed
+    assert child1.master_seed != child2.master_seed
+
+
+def test_master_seed_property():
+    assert RngRegistry(42).master_seed == 42

@@ -1,0 +1,163 @@
+"""Unit tests for cancellable/reschedulable timers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TimerError
+from repro.sim.engine import Engine
+from repro.sim.timers import Timer, TimerState
+
+
+@pytest.fixture
+def engine():
+    return Engine()
+
+
+def make_timer(engine, log):
+    return Timer(engine, lambda: log.append(engine.now), name="t")
+
+
+def test_timer_starts_idle(engine):
+    timer = Timer(engine, lambda: None)
+    assert timer.state is TimerState.IDLE
+    assert not timer.is_pending
+    assert timer.expiry is None
+
+
+def test_timer_fires_at_expiry(engine):
+    log = []
+    timer = make_timer(engine, log)
+    timer.start(5.0)
+    assert timer.is_pending
+    assert timer.expiry == 5.0
+    engine.run()
+    assert log == [5.0]
+    assert timer.state is TimerState.FIRED
+
+
+def test_start_while_pending_raises(engine):
+    timer = Timer(engine, lambda: None)
+    timer.start(1.0)
+    with pytest.raises(TimerError):
+        timer.start(2.0)
+
+
+def test_reschedule_moves_expiry_later(engine):
+    log = []
+    timer = make_timer(engine, log)
+    timer.start(1.0)
+    timer.reschedule(10.0)
+    engine.run()
+    assert log == [10.0]
+
+
+def test_reschedule_moves_expiry_earlier(engine):
+    log = []
+    timer = make_timer(engine, log)
+    timer.start(10.0)
+    timer.reschedule(1.0)
+    engine.run()
+    assert log == [1.0]
+
+
+def test_reschedule_arms_idle_timer(engine):
+    log = []
+    timer = make_timer(engine, log)
+    timer.reschedule(3.0)
+    engine.run()
+    assert log == [3.0]
+
+
+def test_timer_fires_once_per_arming(engine):
+    log = []
+    timer = make_timer(engine, log)
+    timer.start(1.0)
+    engine.run()
+    engine.schedule(1.0, lambda: None)
+    engine.run()
+    assert log == [1.0]
+
+
+def test_cancel_prevents_firing(engine):
+    log = []
+    timer = make_timer(engine, log)
+    timer.start(1.0)
+    timer.cancel()
+    engine.run()
+    assert log == []
+    assert timer.state is TimerState.CANCELLED
+
+
+def test_cancel_idle_is_noop(engine):
+    timer = Timer(engine, lambda: None)
+    timer.cancel()
+    assert timer.state is TimerState.IDLE
+
+
+def test_restart_if_idle_when_idle(engine):
+    log = []
+    timer = make_timer(engine, log)
+    assert timer.restart_if_idle(2.0) is True
+    engine.run()
+    assert log == [2.0]
+
+
+def test_restart_if_idle_when_pending(engine):
+    log = []
+    timer = make_timer(engine, log)
+    timer.start(1.0)
+    assert timer.restart_if_idle(99.0) is False
+    engine.run()
+    assert log == [1.0]
+
+
+def test_restart_after_fired(engine):
+    log = []
+    timer = make_timer(engine, log)
+    timer.start(1.0)
+    engine.run()
+    timer.start(1.0)
+    engine.run()
+    assert log == [1.0, 2.0]
+
+
+def test_negative_delay_raises(engine):
+    timer = Timer(engine, lambda: None)
+    with pytest.raises(TimerError):
+        timer.start(-0.1)
+
+
+def test_remaining_time(engine):
+    timer = Timer(engine, lambda: None)
+    timer.start(10.0)
+    engine.schedule(4.0, lambda: None)
+    engine.step()
+    assert timer.remaining == pytest.approx(6.0)
+
+
+def test_remaining_zero_when_not_pending(engine):
+    timer = Timer(engine, lambda: None)
+    assert timer.remaining == 0.0
+
+
+def test_cancel_then_restart(engine):
+    log = []
+    timer = make_timer(engine, log)
+    timer.start(1.0)
+    timer.cancel()
+    timer.start(2.0)
+    engine.run()
+    assert log == [2.0]
+
+
+def test_rescheduled_timer_does_not_fire_at_original_expiry(engine):
+    """The lazily-cancelled original event must not trigger the callback."""
+    log = []
+    timer = make_timer(engine, log)
+    timer.start(1.0)
+    timer.reschedule(5.0)
+    engine.run(until=2.0)
+    assert log == []
+    engine.run()
+    assert log == [5.0]

@@ -1,0 +1,121 @@
+"""Unit tests for irregular flap patterns."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workload.patterns import (
+    burst_pattern,
+    describe_pattern,
+    jittered_pattern,
+    pattern_by_name,
+    poisson_pattern,
+)
+from repro.workload.pulses import PulseSchedule
+
+
+@pytest.fixture
+def rng():
+    return random.Random(7)
+
+
+class TestPoisson:
+    def test_structure(self, rng):
+        schedule = poisson_pattern(5, 60.0, 120.0, rng)
+        assert schedule.pulse_count == 5
+        assert schedule.events[-1][1] == "up"
+        statuses = [status for _, status in schedule.events]
+        assert statuses == ["down", "up"] * 5
+
+    def test_min_gap_respected(self, rng):
+        schedule = poisson_pattern(20, 0.001, 0.001, rng, min_gap=5.0)
+        offsets = [offset for offset, _ in schedule.events]
+        gaps = [b - a for a, b in zip(offsets, offsets[1:])]
+        assert all(gap >= 5.0 for gap in gaps)
+
+    def test_deterministic_for_seed(self):
+        a = poisson_pattern(5, 60.0, 60.0, random.Random(1))
+        b = poisson_pattern(5, 60.0, 60.0, random.Random(1))
+        assert a.events == b.events
+
+    def test_zero_pulses(self, rng):
+        assert poisson_pattern(0, 60.0, 60.0, rng).events == ()
+
+    def test_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            poisson_pattern(-1, 60.0, 60.0, rng)
+        with pytest.raises(ConfigurationError):
+            poisson_pattern(1, 0.0, 60.0, rng)
+        with pytest.raises(ConfigurationError):
+            poisson_pattern(1, 60.0, 60.0, rng, min_gap=0.0)
+
+
+class TestJittered:
+    def test_preserves_structure(self, rng):
+        schedule = jittered_pattern(4, 60.0, 0.25, rng)
+        assert schedule.pulse_count == 4
+        statuses = [status for _, status in schedule.events]
+        assert statuses == ["down", "up"] * 4
+
+    def test_events_near_regular_grid(self, rng):
+        schedule = jittered_pattern(4, 60.0, 0.2, rng)
+        regular = PulseSchedule.regular(4, 60.0)
+        for (jittered, _), (base, _) in zip(schedule.events, regular.events):
+            assert abs(jittered - base) <= 0.2 * 60.0 + 1e-9
+
+    def test_zero_jitter_is_regular(self, rng):
+        schedule = jittered_pattern(3, 60.0, 0.0, rng)
+        regular = PulseSchedule.regular(3, 60.0)
+        for (a, _), (b, _) in zip(schedule.events, regular.events):
+            assert a == pytest.approx(b)
+
+    def test_jitter_bounds_validated(self, rng):
+        with pytest.raises(ConfigurationError):
+            jittered_pattern(3, 60.0, 0.5, rng)
+        with pytest.raises(ConfigurationError):
+            jittered_pattern(3, 60.0, -0.1, rng)
+
+
+class TestBurst:
+    def test_structure(self):
+        schedule = burst_pattern(2, 3, intra_burst_interval=5.0, inter_burst_gap=600.0)
+        assert schedule.pulse_count == 6
+        offsets = [offset for offset, _ in schedule.events]
+        gaps = [b - a for a, b in zip(offsets, offsets[1:])]
+        assert max(gaps) >= 600.0  # the inter-burst gap is visible
+        assert min(gaps) == pytest.approx(5.0)
+
+    def test_single_burst(self):
+        schedule = burst_pattern(1, 2, 10.0, 1000.0)
+        assert schedule.pulse_count == 2
+        assert schedule.duration < 100.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            burst_pattern(1, 0, 5.0, 100.0)
+        with pytest.raises(ConfigurationError):
+            burst_pattern(1, 1, 0.0, 100.0)
+
+
+class TestHelpers:
+    def test_describe_pattern(self, rng):
+        schedule = poisson_pattern(3, 60.0, 60.0, rng)
+        description = describe_pattern(schedule)
+        assert description["pulses"] == 3
+        assert description["duration"] == schedule.duration
+        assert description["min_gap"] > 0
+
+    def test_describe_empty(self):
+        description = describe_pattern(PulseSchedule.regular(0))
+        assert description["pulses"] == 0
+        assert description["min_gap"] is None
+
+    def test_pattern_by_name(self, rng):
+        for name in ("regular", "poisson", "jittered", "burst"):
+            schedule = pattern_by_name(name, 3, 60.0, rng)
+            assert schedule.pulse_count >= 1
+        with pytest.raises(ConfigurationError):
+            pattern_by_name("chaotic", 3, 60.0, rng)

@@ -1,0 +1,72 @@
+"""Unit tests for pulse schedules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workload.pulses import PulseSchedule
+
+
+def test_regular_schedule_structure():
+    schedule = PulseSchedule.regular(2, 60.0)
+    assert schedule.events == (
+        (0.0, "down"),
+        (60.0, "up"),
+        (120.0, "down"),
+        (180.0, "up"),
+    )
+    assert schedule.pulse_count == 2
+    assert len(schedule) == 4
+
+
+def test_regular_zero_pulses():
+    schedule = PulseSchedule.regular(0)
+    assert schedule.events == ()
+    assert schedule.pulse_count == 0
+    assert schedule.duration == 0.0
+
+
+def test_final_event_is_announcement():
+    schedule = PulseSchedule.regular(3, 30.0)
+    assert schedule.events[-1][1] == "up"
+    assert schedule.final_announcement_offset == schedule.duration
+
+
+def test_duration():
+    assert PulseSchedule.regular(3, 60.0).duration == 300.0
+
+
+def test_from_events_custom_spacing():
+    schedule = PulseSchedule.from_events([(0.0, "down"), (5.0, "up"), (100.0, "down"), (101.0, "up")])
+    assert schedule.pulse_count == 2
+    assert schedule.final_announcement_offset == 101.0
+
+
+def test_must_end_with_up():
+    with pytest.raises(ConfigurationError):
+        PulseSchedule.from_events([(0.0, "down")])
+
+
+def test_events_strictly_increasing():
+    with pytest.raises(ConfigurationError):
+        PulseSchedule.from_events([(0.0, "down"), (0.0, "up")])
+    with pytest.raises(ConfigurationError):
+        PulseSchedule.from_events([(10.0, "down"), (5.0, "up")])
+
+
+def test_bad_status_rejected():
+    with pytest.raises(ConfigurationError):
+        PulseSchedule.from_events([(0.0, "sideways")])
+
+
+def test_negative_offset_rejected():
+    with pytest.raises(ConfigurationError):
+        PulseSchedule.from_events([(-1.0, "up")])
+
+
+def test_validation_of_regular_args():
+    with pytest.raises(ConfigurationError):
+        PulseSchedule.regular(-1)
+    with pytest.raises(ConfigurationError):
+        PulseSchedule.regular(1, 0.0)
