@@ -102,6 +102,8 @@ class MraiLimiter:
                 self._engine,
                 lambda: self._expired(peer),
                 name=f"mrai:{self.owner}->{peer}",
+                actor=self.owner,
+                tag="mrai",
             )
             self._timers[peer] = timer
         timer.reschedule(self._interval())

@@ -7,6 +7,7 @@ an ad-hoc simulation runner::
     rfd-repro run F8            # reproduce Figure 8 and print its table
     rfd-repro run T1 F3 F7      # several experiments in one invocation
     rfd-repro simulate --topology mesh --nodes 100 --pulses 3 --damping cisco
+    rfd-repro lint src/         # detlint determinism static analysis
 """
 
 from __future__ import annotations
@@ -70,6 +71,34 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sim.add_argument("--rcn", action="store_true", help="enable RCN-enhanced damping")
     sim.add_argument("--seed", type=int, default=42)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the detlint determinism static-analysis pass",
+        description=(
+            "Check Python sources against the detlint determinism rule "
+            "catalogue (DET001..DET008, see docs/DETERMINISM.md). Exits 0 "
+            "when clean, 1 when findings or parse errors remain, 2 on "
+            "usage errors."
+        ),
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src"], help="files or directories (default: src)"
+    )
+    lint.add_argument(
+        "--format", choices=["text", "json"], default="text", dest="output_format"
+    )
+    lint.add_argument(
+        "--select", action="append", default=[], metavar="RULE",
+        help="run only these rule ids (repeatable)",
+    )
+    lint.add_argument(
+        "--ignore", action="append", default=[], metavar="RULE",
+        help="skip these rule ids (repeatable)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
     return parser
 
 
@@ -159,6 +188,24 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigurationError
+    from repro.lint import lint_paths, make_config, render_json, render_rule_list, render_text
+
+    if args.list_rules:
+        print(render_rule_list())
+        return 0
+    config = make_config(select=tuple(args.select), ignore=tuple(args.ignore))
+    try:
+        report = lint_paths(args.paths, config)
+    except (ConfigurationError, FileNotFoundError) as exc:
+        print(f"rfd-repro lint: {exc}", file=sys.stderr)
+        return 2
+    renderer = render_json if args.output_format == "json" else render_text
+    print(renderer(report))
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
@@ -169,6 +216,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_intended(args)
     if args.command == "simulate":
         return _cmd_simulate(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     return 1  # pragma: no cover - argparse enforces the choices
 
 

@@ -234,6 +234,8 @@ class DampingManager:
                 self._engine,
                 lambda: self._reuse_fired(peer, prefix),
                 name=f"reuse:{self.owner}:{peer}:{prefix}",
+                actor=self.owner,
+                tag="reuse",
             )
         return entry.timer
 

@@ -1,0 +1,46 @@
+"""detlint — determinism & protocol-safety static analysis.
+
+The paper's headline effects (secondary charging, muffling, the ``Nh``
+crossover) are timer-interaction effects, so the reproduction is only
+trustworthy if a fixed seed yields bit-identical runs. This package
+turns that convention into a machine-checked invariant: an AST-based
+rule framework (:mod:`repro.lint.rules`), a driver with line-scoped
+``# detlint: disable=DET0xx`` suppressions (:mod:`repro.lint.runner`),
+and text/JSON reporters (:mod:`repro.lint.reporters`).
+
+Run it as ``rfd-repro lint src/``; the tier-1 suite gates the whole
+tree through :func:`lint_paths`. The complementary *runtime* check —
+the engine's schedule-race detector — lives in
+:mod:`repro.sim.engine`; see ``docs/DETERMINISM.md`` for both.
+"""
+
+from repro.lint.config import DEFAULT_PROTECTED_PACKAGES, LintConfig, make_config
+from repro.lint.findings import Finding, LintReport
+from repro.lint.reporters import render_json, render_rule_list, render_text
+from repro.lint.rules import (
+    RULE_IDS,
+    FileContext,
+    Rule,
+    all_rule_ids,
+    iter_rules,
+)
+from repro.lint.runner import lint_paths, lint_source, parse_suppressions
+
+__all__ = [
+    "DEFAULT_PROTECTED_PACKAGES",
+    "FileContext",
+    "Finding",
+    "LintConfig",
+    "LintReport",
+    "RULE_IDS",
+    "Rule",
+    "all_rule_ids",
+    "iter_rules",
+    "lint_paths",
+    "lint_source",
+    "make_config",
+    "parse_suppressions",
+    "render_json",
+    "render_rule_list",
+    "render_text",
+]

@@ -1,0 +1,72 @@
+"""Configuration for a detlint run.
+
+:class:`LintConfig` selects which rules run and tells path-scoped rules
+(DET007) which packages count as the deterministic core. The defaults
+match this repository's layout; tests construct narrower configs to
+exercise individual rules in isolation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Packages that must stay free of environment/filesystem access (DET007).
+DEFAULT_PROTECTED_PACKAGES: Tuple[str, ...] = ("repro.core", "repro.sim", "repro.bgp")
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Immutable options shared by every rule in one run.
+
+    Parameters
+    ----------
+    select:
+        If non-empty, only these rule ids run.
+    ignore:
+        Rule ids excluded from the run (applied after ``select``).
+    protected_packages:
+        Dotted module prefixes in which DET007 forbids environment and
+        filesystem access.
+    """
+
+    select: FrozenSet[str] = frozenset()
+    ignore: FrozenSet[str] = frozenset()
+    protected_packages: Tuple[str, ...] = DEFAULT_PROTECTED_PACKAGES
+
+    def validate(self, known_rule_ids: FrozenSet[str]) -> None:
+        """Reject rule ids that no registered rule provides."""
+        unknown = (self.select | self.ignore) - known_rule_ids
+        if unknown:
+            raise ConfigurationError(
+                f"unknown detlint rule id(s): {', '.join(sorted(unknown))}"
+            )
+
+    def rule_enabled(self, rule_id: str) -> bool:
+        if self.select and rule_id not in self.select:
+            return False
+        return rule_id not in self.ignore
+
+    def is_protected_module(self, module: Optional[str]) -> bool:
+        """True when ``module`` (dotted name) lies in a protected package."""
+        if module is None:
+            return False
+        return any(
+            module == package or module.startswith(package + ".")
+            for package in self.protected_packages
+        )
+
+
+def make_config(
+    select: Tuple[str, ...] = (),
+    ignore: Tuple[str, ...] = (),
+    protected_packages: Tuple[str, ...] = DEFAULT_PROTECTED_PACKAGES,
+) -> LintConfig:
+    """Convenience constructor used by the CLI (tuples in, frozensets out)."""
+    return LintConfig(
+        select=frozenset(select),
+        ignore=frozenset(ignore),
+        protected_packages=protected_packages,
+    )

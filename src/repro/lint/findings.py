@@ -1,0 +1,74 @@
+"""Finding and report types for the detlint static-analysis pass.
+
+A :class:`Finding` pins one rule violation to a ``file:line`` location; a
+:class:`LintReport` aggregates the findings of a whole run together with
+bookkeeping the reporters and the CI gate need (files checked, findings
+silenced by suppression comments, files that failed to parse).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    rule_id: str
+    message: str
+    path: str
+    line: int
+    col: int = 0
+    suppressed: bool = False
+
+    @property
+    def location(self) -> str:
+        """``file:line`` rendering used by reporters and error output."""
+        return f"{self.path}:{self.line}"
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form (used by the JSON reporter)."""
+        return {
+            "rule": self.rule_id,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "suppressed": self.suppressed,
+        }
+
+
+@dataclass
+class LintReport:
+    """Aggregated outcome of linting one or more paths."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    #: ``(path, error message)`` for files that could not be parsed.
+    parse_errors: List[Tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when the tree is clean: no findings and no parse errors."""
+        return not self.findings and not self.parse_errors
+
+    @property
+    def finding_count(self) -> int:
+        return len(self.findings)
+
+    def counts_by_rule(self) -> Dict[str, int]:
+        """Active finding count per rule id, sorted by rule id."""
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def extend(self, other: "LintReport") -> None:
+        """Merge ``other`` (one file's report) into this run-level report."""
+        self.findings.extend(other.findings)
+        self.suppressed.extend(other.suppressed)
+        self.files_checked += other.files_checked
+        self.parse_errors.extend(other.parse_errors)

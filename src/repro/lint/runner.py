@@ -1,0 +1,144 @@
+"""The detlint driver: file discovery, parsing, suppression handling.
+
+:func:`lint_paths` is the entry point the CLI and the tier-1 hygiene gate
+share. Suppression comments are line-scoped::
+
+    t = time.time()  # detlint: disable=DET001
+    u = time.time()  # detlint: disable=all
+
+A suppressed finding is still recorded (reporters show the count) but
+does not fail the run.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import os
+import tokenize
+from dataclasses import replace
+from typing import Dict, Iterator, List, Optional, Sequence, Set
+
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding, LintReport
+from repro.lint.rules import FileContext, Rule, all_rule_ids, iter_rules
+
+_DIRECTIVE = "detlint:"
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".mypy_cache", ".pytest_cache"})
+
+
+def parse_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map line number -> rule ids disabled on that line.
+
+    The special token ``all`` disables every rule on its line. Comments
+    are found with :mod:`tokenize`, so directive-looking text inside
+    string literals is ignored.
+    """
+    suppressions: Dict[int, Set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            text = token.string.lstrip("#").strip()
+            if not text.startswith(_DIRECTIVE):
+                continue
+            directive = text[len(_DIRECTIVE) :].strip()
+            if not directive.startswith("disable="):
+                continue
+            rule_ids = {
+                part.strip()
+                for part in directive[len("disable=") :].split(",")
+                if part.strip()
+            }
+            suppressions.setdefault(token.start[0], set()).update(rule_ids)
+    except tokenize.TokenError:
+        pass  # the AST parse already succeeded; treat as no suppressions
+    return suppressions
+
+
+def module_name_for(path: str) -> Optional[str]:
+    """Derive a dotted module name from a file path, if the path visibly
+    contains the ``repro`` package (e.g. ``src/repro/sim/engine.py`` ->
+    ``repro.sim.engine``). Returns None for paths outside the package."""
+    normalized = os.path.normpath(path).replace(os.sep, "/")
+    parts = normalized.split("/")
+    if "repro" not in parts:
+        return None
+    start = parts.index("repro")
+    module_parts = parts[start:]
+    module_parts[-1] = module_parts[-1][: -len(".py")] if module_parts[-1].endswith(
+        ".py"
+    ) else module_parts[-1]
+    if module_parts[-1] == "__init__":
+        module_parts = module_parts[:-1]
+    return ".".join(module_parts)
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    config: Optional[LintConfig] = None,
+    module: Optional[str] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> LintReport:
+    """Lint one source string; the unit of work for files and tests."""
+    config = config if config is not None else LintConfig()
+    report = LintReport(files_checked=1)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        report.parse_errors.append((path, f"syntax error: {exc.msg} (line {exc.lineno})"))
+        return report
+    if module is None:
+        module = module_name_for(path)
+    context = FileContext(path=path, tree=tree, config=config, module=module)
+    suppressions = parse_suppressions(source)
+    active_rules = rules if rules is not None else iter_rules(config)
+    findings: List[Finding] = []
+    for rule in active_rules:
+        findings.extend(rule.check(context))
+    findings.sort(key=lambda f: (f.line, f.col, f.rule_id))
+    for finding in findings:
+        disabled = suppressions.get(finding.line, set())
+        if "all" in disabled or finding.rule_id in disabled:
+            report.suppressed.append(replace(finding, suppressed=True))
+        else:
+            report.findings.append(finding)
+    return report
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
+    """Expand files and directories into a sorted stream of ``.py`` paths."""
+    for path in paths:
+        if os.path.isfile(path):
+            yield path
+            continue
+        if not os.path.isdir(path):
+            raise FileNotFoundError(f"no such file or directory: {path!r}")
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(d for d in dirnames if d not in _SKIP_DIRS)
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    yield os.path.join(dirpath, filename)
+
+
+def lint_paths(
+    paths: Sequence[str], config: Optional[LintConfig] = None
+) -> LintReport:
+    """Lint every Python file under ``paths`` and merge the reports."""
+    config = config if config is not None else LintConfig()
+    config.validate(all_rule_ids())
+    rules = iter_rules(config)
+    report = LintReport()
+    for file_path in iter_python_files(paths):
+        try:
+            with open(file_path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            report.parse_errors.append((file_path, f"unreadable: {exc}"))
+            continue
+        report.extend(
+            lint_source(source, path=file_path, config=config, rules=rules)
+        )
+    return report

@@ -21,6 +21,7 @@ from repro.core.damping import ReuseEvent
 from repro.net.message import Message
 from repro.net.network import Network
 from repro.metrics.series import bin_counts, step_series_at, to_step_series
+from repro.sim.events import ScheduleTie
 
 
 @dataclass(frozen=True)
@@ -42,6 +43,9 @@ class MetricsCollector:
         #: Time-ordered ``(time, delta, router, peer)`` suppression changes
         #: (+1 on suppress, -1 on reuse).
         self.suppression_changes: List[Tuple[float, int, str, str]] = []
+        #: Same-instant same-router event ties recorded by the engine's
+        #: opt-in schedule-race detector (empty unless enabled).
+        self.schedule_ties: List[ScheduleTie] = []
         self._routers: List[BgpRouter] = []
         self._attached = False
         self.attach_time: float = 0.0
@@ -57,6 +61,8 @@ class MetricsCollector:
         self._attached = True
         self.attach_time = network.engine.now
         network.add_delivery_hook(self._on_delivery)
+        if network.engine.tie_detection_enabled:
+            network.engine.add_tie_observer(self.schedule_ties.append)
         for router in routers:
             self._routers.append(router)
             if router.damping is not None:
@@ -178,6 +184,30 @@ class MetricsCollector:
             for record in router.damping.suppressions:
                 total += len(record.recharges)
         return total
+
+    # ------------------------------------------------------------------
+    # schedule-race observations (engine tie detector, opt-in)
+    # ------------------------------------------------------------------
+
+    @property
+    def tie_count(self) -> int:
+        """Number of same-instant same-router ties observed."""
+        return len(self.schedule_ties)
+
+    def ties_by_tag_pair(self) -> Dict[Tuple[str, str], int]:
+        """Tie counts keyed by the (anchor, tied) event-tag pair — the
+        granularity at which benign-tie allowlists are expressed."""
+        counts: Dict[Tuple[str, str], int] = {}
+        for tie in self.schedule_ties:
+            counts[tie.tags] = counts.get(tie.tags, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def ties_by_actor(self) -> Dict[str, int]:
+        """Tie counts per router, for locating ordering hot spots."""
+        counts: Dict[str, int] = {}
+        for tie in self.schedule_ties:
+            counts[tie.actor] = counts.get(tie.actor, 0) + 1
+        return dict(sorted(counts.items()))
 
     def suppression_records(self) -> Dict[str, list]:
         """Per-router suppression episodes (for detailed analysis)."""

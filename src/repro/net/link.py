@@ -103,7 +103,9 @@ class Link:
         if deliver_at < floor:
             deliver_at = floor
         self._next_free[key] = deliver_at
-        self._engine.schedule_at(deliver_at, lambda: self._deliver(message))
+        self._engine.schedule_at(
+            deliver_at, lambda: self._deliver(message), actor=dst, tag="deliver"
+        )
         return message
 
     def _deliver(self, message: Message) -> None:

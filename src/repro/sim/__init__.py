@@ -12,13 +12,14 @@ reproducible.
 """
 
 from repro.sim.engine import Engine, ScheduledEvent
-from repro.sim.events import EventRecord, EventTrace
+from repro.sim.events import EventRecord, EventTrace, ScheduleTie
 from repro.sim.rng import RngRegistry
 from repro.sim.timers import Timer, TimerState
 
 __all__ = [
     "Engine",
     "ScheduledEvent",
+    "ScheduleTie",
     "EventRecord",
     "EventTrace",
     "RngRegistry",

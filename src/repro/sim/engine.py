@@ -12,9 +12,12 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import SimulationError
+from repro.sim.events import ScheduleTie
+
+TieObserver = Callable[[ScheduleTie], None]
 
 
 @dataclass(order=True)
@@ -23,13 +26,18 @@ class ScheduledEvent:
 
     Instances are ordered by ``(time, seq)`` so they can live directly in a
     heap. ``cancelled`` supports lazy cancellation: cancelled entries stay
-    in the heap and are skipped when popped.
+    in the heap and are skipped when popped. ``actor`` and ``tag`` are
+    optional labels (the router a callback touches and the scheduling
+    site's kind) consumed by the schedule-race detector; they never affect
+    ordering.
     """
 
     time: float
     seq: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    actor: Optional[str] = field(default=None, compare=False)
+    tag: Optional[str] = field(default=None, compare=False)
 
     def cancel(self) -> None:
         """Mark the event so the engine discards it instead of firing it."""
@@ -50,14 +58,30 @@ class Engine:
     being executed, and it refuses to schedule events in the past; both
     guarantees together mean causality can never be violated by scheduling
     mistakes — they surface as :class:`SimulationError` instead.
+
+    **Schedule-race detection.** Ties — two events at the same instant —
+    are resolved deterministically by the sequence number, but when both
+    events touch the same router the *outcome* of the simulation depends
+    on that tie-break, which is exactly the ordering-dependence static
+    analysis cannot see. With ``detect_ties=True`` (or after
+    :meth:`enable_tie_detection`) the engine records a
+    :class:`~repro.sim.events.ScheduleTie` whenever two labelled events
+    with the same ``actor`` fire at the same instant, and forwards it to
+    any registered observers (the metrics collector hooks in here).
+    Detection is passive: it never reorders, delays, or drops events.
     """
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    def __init__(self, start_time: float = 0.0, detect_ties: bool = False) -> None:
         self._now = float(start_time)
         self._queue: List[ScheduledEvent] = []
         self._seq = 0
         self._running = False
         self._events_executed = 0
+        self._detect_ties = bool(detect_ties)
+        self._ties: List[ScheduleTie] = []
+        self._tie_observers: List[TieObserver] = []
+        self._instant_time: Optional[float] = None
+        self._instant_actors: Dict[str, Tuple[int, Optional[str]]] = {}
 
     @property
     def now(self) -> float:
@@ -74,8 +98,18 @@ class Engine:
         """Number of live (non-cancelled) events still in the queue."""
         return sum(1 for event in self._queue if not event.cancelled)
 
-    def schedule_at(self, time: float, callback: Callable[[], None]) -> ScheduledEvent:
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        actor: Optional[str] = None,
+        tag: Optional[str] = None,
+    ) -> ScheduledEvent:
         """Schedule ``callback`` to fire at absolute simulated ``time``.
+
+        ``actor`` names the router (or other serialisation domain) the
+        callback touches and ``tag`` the kind of scheduling site; both
+        exist solely for the schedule-race detector.
 
         Raises
         ------
@@ -88,16 +122,24 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule event at {time:.6f}, clock is already at {self._now:.6f}"
             )
-        event = ScheduledEvent(time=float(time), seq=self._seq, callback=callback)
+        event = ScheduledEvent(
+            time=float(time), seq=self._seq, callback=callback, actor=actor, tag=tag
+        )
         self._seq += 1
         heapq.heappush(self._queue, event)
         return event
 
-    def schedule(self, delay: float, callback: Callable[[], None]) -> ScheduledEvent:
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        actor: Optional[str] = None,
+        tag: Optional[str] = None,
+    ) -> ScheduledEvent:
         """Schedule ``callback`` to fire ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"delay must be non-negative, got {delay!r}")
-        return self.schedule_at(self._now + delay, callback)
+        return self.schedule_at(self._now + delay, callback, actor=actor, tag=tag)
 
     def peek_next_time(self) -> Optional[float]:
         """Return the firing time of the next live event, or ``None``."""
@@ -110,6 +152,68 @@ class Engine:
         while self._queue and self._queue[0].cancelled:
             heapq.heappop(self._queue)
 
+    # ------------------------------------------------------------------
+    # schedule-race detection
+    # ------------------------------------------------------------------
+
+    @property
+    def tie_detection_enabled(self) -> bool:
+        """Whether same-instant same-actor ties are being recorded."""
+        return self._detect_ties
+
+    @property
+    def ties(self) -> List[ScheduleTie]:
+        """Ties recorded so far (empty unless detection is enabled)."""
+        return list(self._ties)
+
+    def enable_tie_detection(self) -> None:
+        """Turn on the schedule-race detector for subsequent events."""
+        self._detect_ties = True
+
+    def add_tie_observer(self, observer: TieObserver) -> None:
+        """Invoke ``observer`` with every :class:`ScheduleTie` as it is
+        recorded (used by the metrics collector)."""
+        self._tie_observers.append(observer)
+
+    def clear_ties(self) -> None:
+        """Forget recorded ties (between warm-up and the measured run)."""
+        self._ties.clear()
+        self._instant_time = None
+        self._instant_actors = {}
+
+    def _note_tie(self, event: ScheduledEvent) -> None:
+        # A "tie" means two events were scheduled for the *identical*
+        # float instant, so exact inequality is the correct bucket test.
+        if event.time != self._instant_time:  # detlint: disable=DET005
+            self._instant_time = event.time
+            self._instant_actors = {}
+        if event.actor is None:
+            return
+        anchor = self._instant_actors.get(event.actor)
+        if anchor is None:
+            self._instant_actors[event.actor] = (event.seq, event.tag)
+            return
+        tie = ScheduleTie(
+            time=event.time,
+            actor=event.actor,
+            first_seq=anchor[0],
+            second_seq=event.seq,
+            first_tag=anchor[1],
+            second_tag=event.tag,
+        )
+        self._ties.append(tie)
+        for observer in self._tie_observers:
+            observer(tie)
+
+    def _execute(self, event: ScheduledEvent) -> None:
+        """Advance the clock to ``event`` and fire it (the single place
+        events execute, so detection instruments every run mode)."""
+        self._now = event.time
+        self._events_executed += 1
+        if self._detect_ties:
+            self._note_tie(event)
+        event.callback()
+
     def step(self) -> bool:
         """Execute the single next event.
 
@@ -119,10 +223,7 @@ class Engine:
         self._drop_cancelled_head()
         if not self._queue:
             return False
-        event = heapq.heappop(self._queue)
-        self._now = event.time
-        self._events_executed += 1
-        event.callback()
+        self._execute(heapq.heappop(self._queue))
         return True
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
@@ -155,10 +256,7 @@ class Engine:
                     break
                 if until is not None and self._queue[0].time > until:
                     break
-                event = heapq.heappop(self._queue)
-                self._now = event.time
-                self._events_executed += 1
-                event.callback()
+                self._execute(heapq.heappop(self._queue))
                 executed += 1
         finally:
             self._running = False
@@ -187,10 +285,7 @@ class Engine:
                     break
                 if self._queue[0].time > max_time:
                     break
-                event = heapq.heappop(self._queue)
-                self._now = event.time
-                self._events_executed += 1
-                event.callback()
+                self._execute(heapq.heappop(self._queue))
                 executed += 1
         finally:
             self._running = False
@@ -212,10 +307,15 @@ class Engine:
         )
 
 
-def call_soon(engine: Engine, callback: Callable[[], None]) -> ScheduledEvent:
+def call_soon(
+    engine: Engine,
+    callback: Callable[[], None],
+    actor: Optional[str] = None,
+    tag: Optional[str] = None,
+) -> ScheduledEvent:
     """Schedule ``callback`` at the current instant (after pending same-time
     events already in the queue)."""
-    return engine.schedule(0.0, callback)
+    return engine.schedule(0.0, callback, actor=actor, tag=tag)
 
 
 def format_time(seconds: float) -> str:
@@ -229,4 +329,11 @@ def format_time(seconds: float) -> str:
     return f"{h}:{m:02d}:{s:02d}.{ms:03d}"
 
 
-__all__: Any = ["Engine", "ScheduledEvent", "call_soon", "format_time"]
+__all__: List[str] = [
+    "Engine",
+    "ScheduleTie",
+    "ScheduledEvent",
+    "TieObserver",
+    "call_soon",
+    "format_time",
+]

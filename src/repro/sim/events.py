@@ -14,6 +14,33 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 
 @dataclass(frozen=True)
+class ScheduleTie:
+    """Two events firing at the same simulated instant against one actor.
+
+    Recorded by the engine's opt-in schedule-race detector (see
+    :meth:`repro.sim.engine.Engine.enable_tie_detection`). A tie is not
+    itself a bug — the ``(time, seq)`` heap order resolves it
+    deterministically — but it marks a place where results *depend* on
+    scheduling order, which static analysis cannot see. ``first_seq`` is
+    the anchor event of the instant (the first event touching ``actor``
+    at ``time``); ``second_seq`` is the tied event. Tags carry the
+    scheduling site's label (``deliver``, ``mrai``, ``reuse``, ``flap``).
+    """
+
+    time: float
+    actor: str
+    first_seq: int
+    second_seq: int
+    first_tag: Optional[str] = None
+    second_tag: Optional[str] = None
+
+    @property
+    def tags(self) -> Tuple[str, str]:
+        """The (anchor, tied) tag pair, with ``?`` for unlabelled events."""
+        return (self.first_tag or "?", self.second_tag or "?")
+
+
+@dataclass(frozen=True)
 class EventRecord:
     """One row of the simulation trace.
 

@@ -35,12 +35,27 @@ class Timer:
         Invoked with no arguments when the timer fires.
     name:
         Optional label used in error messages and ``repr``.
+    actor:
+        Optional router name forwarded to the engine's schedule-race
+        detector: ties between this timer and any other event touching
+        the same actor at the same instant are recorded.
+    tag:
+        Kind label for the detector (``"mrai"``, ``"reuse"``, ...).
     """
 
-    def __init__(self, engine: Engine, callback: Callable[[], None], name: str = "") -> None:
+    def __init__(
+        self,
+        engine: Engine,
+        callback: Callable[[], None],
+        name: str = "",
+        actor: Optional[str] = None,
+        tag: Optional[str] = None,
+    ) -> None:
         self._engine = engine
         self._callback = callback
         self._name = name
+        self._actor = actor
+        self._tag = tag
         self._state = TimerState.IDLE
         self._event: Optional[ScheduledEvent] = None
         self._expiry: Optional[float] = None
@@ -106,7 +121,9 @@ class Timer:
         if delay < 0:
             raise TimerError(f"timer {self._name!r} delay must be >= 0, got {delay}")
         self._expiry = self._engine.now + delay
-        self._event = self._engine.schedule(delay, self._fire)
+        self._event = self._engine.schedule(
+            delay, self._fire, actor=self._actor, tag=self._tag
+        )
         self._state = TimerState.PENDING
 
     def _fire(self) -> None:

@@ -17,6 +17,7 @@ from typing import Optional
 import networkx as nx
 
 from repro.errors import TopologyError
+from repro.sim.rng import RngRegistry
 from repro.topology.model import Topology
 from repro.topology.relationships import assign_relationships
 
@@ -108,6 +109,14 @@ def pick_isp(topology: Topology, rng: Optional[random.Random] = None) -> str:
 
     The paper "randomly select[s] a node to be the ispAS"; a plain uniform
     choice over nodes reproduces that.
+
+    When ``rng`` is omitted the draw comes from a fresh, *named*
+    ``RngRegistry`` stream (``topology:pick-isp`` under master seed 0),
+    so the default is reproducible per call yet can never alias the
+    sequence of any other default-seeded call site — previously both
+    this function and :func:`repro.workload.patterns.pattern_by_name`
+    fell back to ``random.Random(0)`` and silently shared a stream
+    (the hazard detlint rule DET002 exists to catch).
     """
-    chooser = rng if rng is not None else random.Random(0)
+    chooser = rng if rng is not None else RngRegistry(0).stream("topology:pick-isp")
     return chooser.choice(topology.nodes)

@@ -141,7 +141,9 @@ class MultiOriginScenario:
                 continue
             for offset, status in schedule.events:
                 action = origin.take_down if status == "down" else origin.bring_up
-                self.engine.schedule_at(start + offset, action)
+                self.engine.schedule_at(
+                    start + offset, action, actor=origin.name, tag="flap"
+                )
             final_announcements[origin.prefix] = (
                 start + schedule.final_announcement_offset
             )

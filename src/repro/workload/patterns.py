@@ -24,6 +24,7 @@ import random
 from typing import List, Optional, Tuple
 
 from repro.errors import ConfigurationError
+from repro.sim.rng import RngRegistry
 from repro.workload.pulses import PulseSchedule
 
 
@@ -137,8 +138,15 @@ def pattern_by_name(
     flap_interval: float,
     rng: Optional[random.Random] = None,
 ) -> PulseSchedule:
-    """Factory used by the CLI and ablation benches."""
-    chooser = rng if rng is not None else random.Random(0)
+    """Factory used by the CLI and ablation benches.
+
+    When ``rng`` is omitted the pattern draws from a fresh, *named*
+    ``RngRegistry`` stream (``workload:pattern`` under master seed 0):
+    reproducible per call, but independent of every other
+    default-seeded call site. The previous ``random.Random(0)``
+    fallback aliased this stream with ``pick_isp``'s (detlint DET002).
+    """
+    chooser = rng if rng is not None else RngRegistry(0).stream("workload:pattern")
     if name == "regular":
         return PulseSchedule.regular(pulses, flap_interval)
     if name == "poisson":

@@ -64,6 +64,10 @@ class ScenarioConfig:
     prefix: str = DEFAULT_PREFIX
     warmup_horizon: float = 5_000.0
     run_horizon: float = 100_000.0
+    #: Opt-in runtime schedule-race detector: record same-instant event
+    #: ties touching the same router (see ``docs/DETERMINISM.md``).
+    #: Detection is passive — results are bit-identical either way.
+    detect_schedule_ties: bool = False
 
     def __post_init__(self) -> None:
         if self.rcn and self.selective:
@@ -148,7 +152,7 @@ class Scenario:
     def __init__(self, config: ScenarioConfig) -> None:
         self.config = config
         self.rng = RngRegistry(config.seed)
-        self.engine = Engine()
+        self.engine = Engine(detect_ties=config.detect_schedule_ties)
         self.network = Network(self.engine, self.rng)
         self.routers: Dict[str, BgpRouter] = {}
         self.policy = self._build_policy()
@@ -270,6 +274,8 @@ class Scenario:
         self.warmup_convergence = last_delivery[0] - start
         for router in self.routers.values():
             router.reset_damping()
+        # Warm-up ties are not part of the measured episode.
+        self.engine.clear_ties()
         return self.warmup_convergence
 
     def run(self, schedule: PulseSchedule) -> FlapRunResult:
@@ -289,7 +295,10 @@ class Scenario:
         start = self.engine.now
         for offset, status in schedule.events:
             self.engine.schedule_at(
-                start + offset, self._make_flap_action(status, trace)
+                start + offset,
+                self._make_flap_action(status, trace),
+                actor=ORIGIN_NAME,
+                tag="flap",
             )
         self.engine.run_until_idle(max_time=start + self.config.run_horizon)
         if self.engine.pending_count:

@@ -102,3 +102,84 @@ def test_run_with_csv_export(capsys, tmp_path):
     out = capsys.readouterr().out
     assert "wrote" in out
     assert (tmp_path / "T1.csv").exists()
+
+
+# ----------------------------------------------------------------------
+# lint subcommand (detlint)
+# ----------------------------------------------------------------------
+
+
+def test_lint_clean_tree_exits_zero(capsys):
+    import pathlib
+
+    import repro
+
+    src_dir = pathlib.Path(repro.__file__).resolve().parents[1]
+    assert main(["lint", str(src_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "0 finding(s)" in out
+
+
+def test_lint_seeded_violation_exits_nonzero(capsys, tmp_path):
+    """Acceptance: a DET001/DET002 fixture fails with rule id and file:line."""
+    fixture = tmp_path / "violations.py"
+    fixture.write_text(
+        "import random\n"
+        "import time\n"
+        "\n"
+        "def stamp():\n"
+        "    return time.time()\n"
+        "\n"
+        "def draw():\n"
+        "    return random.Random(0).random()\n",
+        encoding="utf-8",
+    )
+    assert main(["lint", str(fixture)]) == 1
+    out = capsys.readouterr().out
+    assert "DET001" in out and "DET002" in out
+    assert f"{fixture}:5:" in out  # file:line of the wall-clock read
+
+
+def test_lint_suppression_comment_restores_exit_zero(capsys, tmp_path):
+    fixture = tmp_path / "suppressed.py"
+    fixture.write_text(
+        "import time\n"
+        "t = time.time()  # detlint: disable=DET001\n",
+        encoding="utf-8",
+    )
+    assert main(["lint", str(fixture)]) == 0
+    out = capsys.readouterr().out
+    assert "1 suppressed" in out
+
+
+def test_lint_json_format(capsys, tmp_path):
+    import json
+
+    fixture = tmp_path / "bad.py"
+    fixture.write_text("import time\nt = time.time()\n", encoding="utf-8")
+    assert main(["lint", "--format", "json", str(fixture)]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["counts_by_rule"] == {"DET001": 1}
+
+
+def test_lint_select_and_ignore(capsys, tmp_path):
+    fixture = tmp_path / "bad.py"
+    fixture.write_text("import time\nt = time.time()\n", encoding="utf-8")
+    assert main(["lint", "--ignore", "DET001", str(fixture)]) == 0
+    capsys.readouterr()
+    assert main(["lint", "--select", "DET002", str(fixture)]) == 0
+
+
+def test_lint_list_rules(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    assert "DET001" in out and "DET008" in out
+
+
+def test_lint_unknown_rule_id_is_usage_error(capsys):
+    assert main(["lint", "--select", "DET999", "src"]) == 2
+    assert "DET999" in capsys.readouterr().err
+
+
+def test_lint_missing_path_is_usage_error(capsys):
+    assert main(["lint", "/nonexistent/path/xyz"]) == 2

@@ -97,3 +97,28 @@ def test_every_package_module_has_docstring():
 def test_documentation_files_exist(required):
     path = REPO_ROOT / required
     assert path.exists() and path.stat().st_size > 1000
+
+
+def test_detlint_full_tree_is_clean():
+    """Tier-1 determinism gate: the whole source tree passes detlint.
+
+    This is the machine-checked form of the determinism convention the
+    engine's docstring promises — see docs/DETERMINISM.md. New findings
+    mean a wall-clock read, global RNG use, unordered iteration, or one
+    of the other DET00x hazards crept into src/; fix it or justify a
+    line-scoped ``# detlint: disable=DET00x`` suppression.
+    """
+    from repro.lint import lint_paths, render_text
+
+    report = lint_paths([str(REPO_ROOT / "src")])
+    assert report.files_checked > 50
+    assert report.ok, "\n" + render_text(report)
+
+
+def test_detlint_rule_catalogue_is_documented():
+    """Every rule id appears in docs/DETERMINISM.md with its rationale."""
+    from repro.lint import RULE_IDS
+
+    doc = (REPO_ROOT / "docs" / "DETERMINISM.md").read_text(encoding="utf-8")
+    for rule_id in RULE_IDS:
+        assert rule_id in doc, f"{rule_id} missing from docs/DETERMINISM.md"

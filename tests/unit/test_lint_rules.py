@@ -1,0 +1,564 @@
+"""Unit tests for the detlint rule catalogue.
+
+Every rule gets the same three-way treatment: a small synthetic fixture
+that must fire, the same fixture with a ``# detlint: disable=...``
+comment that must stay silent, and compliant code the rule must not
+flag. Framework behaviour (suppressions, select/ignore, reporters,
+module scoping) is covered at the end.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.lint import (
+    LintConfig,
+    RULE_IDS,
+    all_rule_ids,
+    iter_rules,
+    lint_paths,
+    lint_source,
+    make_config,
+    parse_suppressions,
+    render_json,
+    render_rule_list,
+    render_text,
+)
+
+
+def findings_for(source: str, module: str = "repro.sim.fixture") -> list:
+    report = lint_source(textwrap.dedent(source), path="fixture.py", module=module)
+    assert not report.parse_errors
+    return report.findings
+
+
+def rule_ids_of(source: str, module: str = "repro.sim.fixture") -> set:
+    return {f.rule_id for f in findings_for(source, module=module)}
+
+
+# ----------------------------------------------------------------------
+# DET001 — wall-clock
+# ----------------------------------------------------------------------
+
+
+class TestDET001:
+    def test_fires_on_time_time(self):
+        ids = rule_ids_of(
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """
+        )
+        assert "DET001" in ids
+
+    def test_fires_on_datetime_now_and_aliased_import(self):
+        ids = rule_ids_of(
+            """
+            from datetime import datetime
+            import time as clock
+
+            def stamps():
+                return datetime.now(), clock.monotonic()
+            """
+        )
+        assert ids == {"DET001"}
+        assert len(findings_for(
+            """
+            from datetime import datetime
+            import time as clock
+
+            def stamps():
+                return datetime.now(), clock.monotonic()
+            """
+        )) == 2
+
+    def test_respects_disable_comment(self):
+        assert not findings_for(
+            """
+            import time
+
+            def stamp():
+                return time.time()  # detlint: disable=DET001
+            """
+        )
+
+    def test_quiet_on_engine_clock(self):
+        assert not findings_for(
+            """
+            def stamp(engine):
+                return engine.now
+            """
+        )
+
+    def test_quiet_on_unrelated_time_attribute(self):
+        # record.time is simulated time, not the time module
+        assert not findings_for(
+            """
+            def first(records):
+                return [r.time for r in records]
+            """
+        )
+
+
+# ----------------------------------------------------------------------
+# DET002 — global random state
+# ----------------------------------------------------------------------
+
+
+class TestDET002:
+    def test_fires_on_module_level_random(self):
+        ids = rule_ids_of(
+            """
+            import random
+
+            def jitter():
+                return random.uniform(0.0, 1.0)
+            """
+        )
+        assert "DET002" in ids
+
+    def test_fires_on_literal_seeded_random(self):
+        ids = rule_ids_of(
+            """
+            import random
+
+            def chooser():
+                return random.Random(0)
+            """
+        )
+        assert "DET002" in ids
+
+    def test_fires_on_unseeded_random_constructor(self):
+        ids = rule_ids_of(
+            """
+            import random
+
+            def chooser():
+                return random.Random()
+            """
+        )
+        assert "DET002" in ids
+
+    def test_respects_disable_comment(self):
+        assert not findings_for(
+            """
+            import random
+
+            def jitter():
+                return random.random()  # detlint: disable=DET002
+            """
+        )
+
+    def test_quiet_on_injected_generator_and_derived_seed(self):
+        assert not findings_for(
+            """
+            import random
+
+            def jitter(rng):
+                return rng.uniform(0.0, 1.0)
+
+            def derived(seed):
+                return random.Random(seed + 1)
+            """
+        )
+
+
+# ----------------------------------------------------------------------
+# DET003 — set iteration
+# ----------------------------------------------------------------------
+
+
+class TestDET003:
+    def test_fires_on_set_literal_loop(self):
+        ids = rule_ids_of(
+            """
+            def drain(a, b):
+                for router in {a, b}:
+                    router.flush()
+            """
+        )
+        assert "DET003" in ids
+
+    def test_fires_on_set_call_and_comprehension(self):
+        source = """
+            def emit(names):
+                for name in set(names):
+                    print(name)
+                return [n for n in {x.strip() for x in names}]
+            """
+        assert "DET003" in rule_ids_of(source)
+        assert len([f for f in findings_for(source) if f.rule_id == "DET003"]) >= 2
+
+    def test_respects_disable_comment(self):
+        assert not findings_for(
+            """
+            def drain(a, b):
+                for router in {a, b}:  # detlint: disable=DET003
+                    router.flush()
+            """
+        )
+
+    def test_quiet_on_sorted_set(self):
+        assert not findings_for(
+            """
+            def drain(names):
+                for name in sorted(set(names)):
+                    print(name)
+            """
+        )
+
+
+# ----------------------------------------------------------------------
+# DET004 — hash()/id() ordering
+# ----------------------------------------------------------------------
+
+
+class TestDET004:
+    def test_fires_on_hash_sort_key(self):
+        ids = rule_ids_of(
+            """
+            def order(routers):
+                return sorted(routers, key=hash)
+            """
+        )
+        assert "DET004" in ids
+
+    def test_fires_on_id_in_lambda_key_and_dict_key(self):
+        findings = [
+            f
+            for f in findings_for(
+                """
+                def order(routers, a, b):
+                    routers.sort(key=lambda r: id(r))
+                    table = {hash(a): a}
+                    table[id(b)] = b
+                    return table
+                """
+            )
+            if f.rule_id == "DET004"
+        ]
+        assert len(findings) == 3
+
+    def test_respects_disable_comment(self):
+        assert not findings_for(
+            """
+            def order(routers):
+                return sorted(routers, key=hash)  # detlint: disable=DET004
+            """
+        )
+
+    def test_quiet_on_name_keys(self):
+        assert not findings_for(
+            """
+            def order(routers):
+                return sorted(routers, key=lambda r: r.name)
+            """
+        )
+
+
+# ----------------------------------------------------------------------
+# DET005 — float time equality
+# ----------------------------------------------------------------------
+
+
+class TestDET005:
+    def test_fires_on_time_equality(self):
+        ids = rule_ids_of(
+            """
+            def same_instant(event, engine):
+                return event.time == engine.now
+            """
+        )
+        assert "DET005" in ids
+
+    def test_fires_on_inequality(self):
+        ids = rule_ids_of(
+            """
+            def moved(expiry, deadline):
+                return expiry != deadline
+            """
+        )
+        assert "DET005" in ids
+
+    def test_respects_disable_comment(self):
+        assert not findings_for(
+            """
+            def same_instant(event, engine):
+                return event.time == engine.now  # detlint: disable=DET005
+            """
+        )
+
+    def test_quiet_on_tolerance_nan_check_and_tags(self):
+        assert not findings_for(
+            """
+            def ok(event, engine, record):
+                close = abs(event.time - engine.now) <= 1e-9
+                nan = event.time != event.time
+                tag = record.kind == "reuse"
+                return close or nan or tag
+            """
+        )
+
+
+# ----------------------------------------------------------------------
+# DET006 — re-entrant engine runs
+# ----------------------------------------------------------------------
+
+
+class TestDET006:
+    def test_fires_on_closure_calling_run(self):
+        ids = rule_ids_of(
+            """
+            def schedule_probe(engine):
+                def probe():
+                    engine.run(until=engine.now + 1.0)
+                engine.schedule(0.0, probe)
+            """
+        )
+        assert "DET006" in ids
+
+    def test_fires_on_lambda_and_self_engine(self):
+        ids = rule_ids_of(
+            """
+            class Driver:
+                def arm(self):
+                    self._engine.schedule(0.0, lambda: self._engine.step())
+            """
+        )
+        assert "DET006" in ids
+
+    def test_respects_disable_comment(self):
+        assert not findings_for(
+            """
+            def schedule_probe(engine):
+                def probe():
+                    engine.run()  # detlint: disable=DET006
+                engine.schedule(0.0, probe)
+            """
+        )
+
+    def test_quiet_on_top_level_run_and_other_receivers(self):
+        assert not findings_for(
+            """
+            def drive(engine, scenario):
+                engine.run_until_idle(max_time=100.0)
+                return scenario.run(None)
+
+            class Scenario:
+                def run(self, schedule):
+                    self.engine.run_until_idle(max_time=10.0)
+            """
+        )
+
+
+# ----------------------------------------------------------------------
+# DET007 — ambient environment access
+# ----------------------------------------------------------------------
+
+
+class TestDET007:
+    def test_fires_inside_protected_package(self):
+        ids = rule_ids_of(
+            """
+            import os
+
+            def load():
+                flag = os.environ["REPRO_DEBUG"]
+                with open("params.txt") as handle:
+                    return flag, handle.read()
+            """,
+            module="repro.core.fixture",
+        )
+        assert "DET007" in ids
+
+    def test_fires_on_getenv_and_path_reads(self):
+        findings = [
+            f
+            for f in findings_for(
+                """
+                import os
+                import pathlib
+
+                def load(path):
+                    a = os.getenv("SEED")
+                    b = pathlib.Path(path).read_text()
+                    return a, b
+                """,
+                module="repro.bgp.fixture",
+            )
+            if f.rule_id == "DET007"
+        ]
+        assert len(findings) == 2
+
+    def test_respects_disable_comment(self):
+        assert not findings_for(
+            """
+            import os
+
+            def load():
+                return os.getenv("SEED")  # detlint: disable=DET007
+            """,
+            module="repro.sim.fixture",
+        )
+
+    def test_quiet_outside_protected_packages(self):
+        assert not findings_for(
+            """
+            import os
+
+            def load():
+                return os.getenv("SEED")
+            """,
+            module="repro.experiments.fixture",
+        )
+
+
+# ----------------------------------------------------------------------
+# DET008 — mutable defaults
+# ----------------------------------------------------------------------
+
+
+class TestDET008:
+    def test_fires_on_public_list_default(self):
+        ids = rule_ids_of(
+            """
+            def run_episode(pulses, hooks=[]):
+                return pulses, hooks
+            """
+        )
+        assert "DET008" in ids
+
+    def test_fires_on_dict_set_and_constructor_defaults(self):
+        findings = [
+            f
+            for f in findings_for(
+                """
+                def configure(overrides={}, tags=set(), *, extra=list()):
+                    return overrides, tags, extra
+                """
+            )
+            if f.rule_id == "DET008"
+        ]
+        assert len(findings) == 3
+
+    def test_respects_disable_comment(self):
+        assert not findings_for(
+            """
+            def run_episode(pulses, hooks=[]):  # detlint: disable=DET008
+                return pulses, hooks
+            """
+        )
+
+    def test_quiet_on_none_default_and_private_helpers(self):
+        assert not findings_for(
+            """
+            def run_episode(pulses, hooks=None):
+                return pulses, hooks or []
+
+            def _internal(cache=[]):
+                return cache
+            """
+        )
+
+
+# ----------------------------------------------------------------------
+# framework behaviour
+# ----------------------------------------------------------------------
+
+
+class TestFramework:
+    def test_catalogue_is_complete(self):
+        expected = {f"DET00{i}" for i in range(1, 9)}
+        assert set(RULE_IDS) == expected
+        assert all_rule_ids() == frozenset(expected)
+
+    def test_every_rule_has_title_and_rationale(self):
+        for rule in iter_rules():
+            assert rule.id and rule.title and rule.rationale
+
+    def test_disable_all_token(self):
+        assert not findings_for(
+            """
+            import time
+
+            def stamp():
+                return time.time()  # detlint: disable=all
+            """
+        )
+
+    def test_suppressed_findings_are_still_recorded(self):
+        report = lint_source(
+            "import time\nt = time.time()  # detlint: disable=DET001\n",
+            path="fixture.py",
+        )
+        assert not report.findings
+        assert len(report.suppressed) == 1
+        assert report.suppressed[0].suppressed
+
+    def test_parse_suppressions_ignores_strings(self):
+        mapping = parse_suppressions(
+            's = "# detlint: disable=DET001"\nt = 1  # detlint: disable=DET002,DET003\n'
+        )
+        assert mapping == {2: {"DET002", "DET003"}}
+
+    def test_select_and_ignore(self):
+        source = "import time, random\na = time.time()\nb = random.random()\n"
+        only_001 = lint_source(
+            source, config=make_config(select=("DET001",))
+        ).findings
+        assert {f.rule_id for f in only_001} == {"DET001"}
+        without_001 = lint_source(
+            source, config=make_config(ignore=("DET001",))
+        ).findings
+        assert {f.rule_id for f in without_001} == {"DET002"}
+
+    def test_unknown_rule_id_rejected(self):
+        config = make_config(select=("DET999",))
+        with pytest.raises(ConfigurationError):
+            config.validate(all_rule_ids())
+
+    def test_lint_paths_on_fixture_dir(self, tmp_path):
+        (tmp_path / "bad.py").write_text(
+            "import time\nt = time.time()\n", encoding="utf-8"
+        )
+        (tmp_path / "good.py").write_text("x = 1\n", encoding="utf-8")
+        report = lint_paths([str(tmp_path)])
+        assert report.files_checked == 2
+        assert [f.rule_id for f in report.findings] == ["DET001"]
+        assert report.findings[0].path.endswith("bad.py")
+        assert not report.ok
+
+    def test_parse_error_is_reported_not_raised(self):
+        report = lint_source("def broken(:\n", path="broken.py")
+        assert report.parse_errors and not report.ok
+
+    def test_text_reporter_shows_rule_and_location(self):
+        report = lint_source("import time\nt = time.time()\n", path="pkg/mod.py")
+        text = render_text(report)
+        assert "pkg/mod.py:2:" in text
+        assert "DET001" in text
+
+    def test_json_reporter_round_trips(self):
+        report = lint_source("import time\nt = time.time()\n", path="mod.py")
+        payload = json.loads(render_json(report))
+        assert payload["ok"] is False
+        assert payload["counts_by_rule"] == {"DET001": 1}
+        assert payload["findings"][0]["line"] == 2
+
+    def test_rule_list_rendering(self):
+        listing = render_rule_list()
+        for rule_id in RULE_IDS:
+            assert rule_id in listing
+
+    def test_default_config_protects_core_sim_bgp(self):
+        config = LintConfig()
+        assert config.is_protected_module("repro.core.damping")
+        assert config.is_protected_module("repro.sim")
+        assert not config.is_protected_module("repro.experiments.fig10")
+        assert not config.is_protected_module(None)

@@ -225,3 +225,113 @@ def test_format_time():
     assert format_time(0.0) == "0:00:00.000"
     assert format_time(3723.5) == "1:02:03.500"
     assert format_time(59.999) == "0:00:59.999"
+
+
+# ----------------------------------------------------------------------
+# schedule-race (tie) detection
+# ----------------------------------------------------------------------
+
+
+def test_tie_detection_off_by_default():
+    engine = Engine()
+    assert not engine.tie_detection_enabled
+    engine.schedule_at(1.0, lambda: None, actor="r1", tag="deliver")
+    engine.schedule_at(1.0, lambda: None, actor="r1", tag="deliver")
+    engine.run()
+    assert engine.ties == []
+
+
+def test_same_instant_same_actor_records_tie():
+    engine = Engine(detect_ties=True)
+    engine.schedule_at(5.0, lambda: None, actor="r1", tag="deliver")
+    engine.schedule_at(5.0, lambda: None, actor="r1", tag="mrai")
+    engine.run()
+    assert len(engine.ties) == 1
+    tie = engine.ties[0]
+    assert tie.time == 5.0
+    assert tie.actor == "r1"
+    assert tie.first_seq < tie.second_seq
+    assert tie.tags == ("deliver", "mrai")
+
+
+def test_same_instant_different_actors_is_not_a_tie():
+    engine = Engine(detect_ties=True)
+    engine.schedule_at(5.0, lambda: None, actor="r1")
+    engine.schedule_at(5.0, lambda: None, actor="r2")
+    engine.run()
+    assert engine.ties == []
+
+
+def test_same_actor_different_instants_is_not_a_tie():
+    engine = Engine(detect_ties=True)
+    engine.schedule_at(1.0, lambda: None, actor="r1")
+    engine.schedule_at(2.0, lambda: None, actor="r1")
+    engine.run()
+    assert engine.ties == []
+
+
+def test_unlabelled_events_never_tie():
+    engine = Engine(detect_ties=True)
+    engine.schedule_at(1.0, lambda: None)
+    engine.schedule_at(1.0, lambda: None)
+    engine.run()
+    assert engine.ties == []
+
+
+def test_three_way_tie_records_one_tie_per_follower():
+    engine = Engine(detect_ties=True)
+    for tag in ("a", "b", "c"):
+        engine.schedule_at(1.0, lambda: None, actor="r1", tag=tag)
+    engine.run()
+    assert len(engine.ties) == 2
+    assert [t.tags for t in engine.ties] == [("a", "b"), ("a", "c")]
+
+
+def test_tie_observer_and_clear():
+    engine = Engine(detect_ties=True)
+    seen = []
+    engine.add_tie_observer(seen.append)
+    engine.schedule_at(1.0, lambda: None, actor="r1")
+    engine.schedule_at(1.0, lambda: None, actor="r1")
+    engine.run()
+    assert len(seen) == 1 and seen == engine.ties
+    engine.clear_ties()
+    assert engine.ties == []
+
+
+def test_enable_tie_detection_mid_run():
+    engine = Engine()
+    engine.schedule_at(1.0, lambda: None, actor="r1")
+    engine.schedule_at(1.0, lambda: None, actor="r1")
+    engine.run()
+    assert engine.ties == []
+    engine.enable_tie_detection()
+    engine.schedule_at(engine.now + 1.0, lambda: None, actor="r1")
+    engine.schedule_at(engine.now + 1.0, lambda: None, actor="r1")
+    engine.run()
+    assert len(engine.ties) == 1
+
+
+def test_detection_is_passive_identical_execution_order():
+    def trace_run(detect: bool):
+        order = []
+        engine = Engine(detect_ties=detect)
+        for i in range(5):
+            engine.schedule_at(1.0, lambda i=i: order.append(i), actor="r1")
+        engine.run()
+        return order
+
+    assert trace_run(False) == trace_run(True) == [0, 1, 2, 3, 4]
+
+
+def test_timer_forwards_actor_and_tag():
+    from repro.sim.timers import Timer
+
+    engine = Engine(detect_ties=True)
+    t1 = Timer(engine, lambda: None, name="a", actor="r1", tag="mrai")
+    t2 = Timer(engine, lambda: None, name="b", actor="r1", tag="reuse")
+    t1.start(3.0)
+    t2.start(3.0)
+    engine.run()
+    assert len(engine.ties) == 1
+    assert engine.ties[0].tags == ("mrai", "reuse")
