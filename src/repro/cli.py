@@ -7,7 +7,7 @@ an ad-hoc simulation runner::
     rfd-repro run F8            # reproduce Figure 8 and print its table
     rfd-repro run T1 F3 F7      # several experiments in one invocation
     rfd-repro simulate --topology mesh --nodes 100 --pulses 3 --damping cisco
-    rfd-repro lint src/         # detlint determinism static analysis
+    rfd-repro lint --pass all src/   # detlint + semlint static analysis
 """
 
 from __future__ import annotations
@@ -21,7 +21,8 @@ from repro.experiments.registry import get_experiment, list_experiments
 from repro.metrics.report import render_table
 from repro.topology.internet import internet_topology
 from repro.topology.mesh import mesh_topology
-from repro.workload.scenarios import ScenarioConfig, run_episode
+from repro.workload.pulses import PulseSchedule
+from repro.workload.scenarios import Scenario, ScenarioConfig
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -47,6 +48,14 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also export each experiment's tables/series as CSV into this directory",
     )
+    run.add_argument(
+        "--check-invariants",
+        action="store_true",
+        help=(
+            "sweep every drained episode with the converged-state "
+            "invariant oracle (fails the run on any violation)"
+        ),
+    )
 
     intended = sub.add_parser(
         "intended", help="evaluate the Section 3 intended-behaviour model"
@@ -71,15 +80,24 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sim.add_argument("--rcn", action="store_true", help="enable RCN-enhanced damping")
     sim.add_argument("--seed", type=int, default=42)
+    sim.add_argument(
+        "--check-invariants",
+        action="store_true",
+        help=(
+            "after the episode drains, run the converged-state invariant "
+            "oracle (reachability, loop-freedom, decision consistency, "
+            "drain) and fail on any violation"
+        ),
+    )
 
     lint = sub.add_parser(
         "lint",
-        help="run the detlint determinism static-analysis pass",
+        help="run the detlint/semlint static-analysis passes",
         description=(
-            "Check Python sources against the detlint determinism rule "
-            "catalogue (DET001..DET008, see docs/DETERMINISM.md). Exits 0 "
-            "when clean, 1 when findings or parse errors remain, 2 on "
-            "usage errors."
+            "Check Python sources against the determinism (DET001..DET009) "
+            "and protocol-semantics (SEM001..SEM007) rule catalogues — see "
+            "docs/STATIC_ANALYSIS.md. Exits 0 when clean, 1 when findings "
+            "or parse errors remain, 2 on usage errors."
         ),
     )
     lint.add_argument(
@@ -97,6 +115,30 @@ def _build_parser() -> argparse.ArgumentParser:
         help="skip these rule ids (repeatable)",
     )
     lint.add_argument(
+        "--pass",
+        choices=["det", "sem", "all"],
+        default="all",
+        dest="lint_pass",
+        help=(
+            "which analysis pass to run: det (determinism), sem (protocol "
+            "semantics), or all (default)"
+        ),
+    )
+    lint.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help=(
+            "compare findings against a baseline file; baselined findings "
+            "are reported but do not fail the run"
+        ),
+    )
+    lint.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the --baseline file from the current findings and exit 0",
+    )
+    lint.add_argument(
         "--list-rules", action="store_true", help="print the rule catalogue and exit"
     )
     return parser
@@ -111,7 +153,15 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_run(experiment_ids: List[str], csv_dir: Optional[str]) -> int:
+def _cmd_run(
+    experiment_ids: List[str],
+    csv_dir: Optional[str],
+    check_invariants: bool = False,
+) -> int:
+    if check_invariants:
+        from repro.experiments.base import set_invariant_checking
+
+        set_invariant_checking(True)
     if any(eid.lower() == "all" for eid in experiment_ids):
         experiment_ids = list_experiments()
     for experiment_id in experiment_ids:
@@ -169,7 +219,26 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     config = ScenarioConfig(
         topology=topology, damping=damping, rcn=args.rcn, seed=args.seed
     )
-    result = run_episode(config, args.pulses, args.interval)
+    scenario = Scenario(config)
+    scenario.warm_up()
+    result = scenario.run(PulseSchedule.regular(args.pulses, args.interval))
+    invariant_rows: List[List[object]] = []
+    invariant_failures: List[str] = []
+    if args.check_invariants:
+        from repro.analysis.invariants import check_converged_invariants
+
+        # Every PulseSchedule ends with the origin up, so the converged
+        # network must be fully reachable and fully drained.
+        inv = check_converged_invariants(scenario)
+        invariant_rows.append(
+            [
+                "invariants",
+                f"ok ({inv.routers_checked} routers)"
+                if inv.ok
+                else f"{len(inv.violations)} violation(s)",
+            ]
+        )
+        invariant_failures = [str(v) for v in inv.violations]
     headers = ["metric", "value"]
     rows = [
         ["topology", topology.name],
@@ -184,23 +253,63 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         ["noisy / silent reuses", f"{result.summary.noisy_reuses} / {result.summary.silent_reuses}"],
         ["secondary charges", result.summary.secondary_charges],
     ]
+    rows.extend(invariant_rows)
     print(render_table(headers, rows, title="simulation result"))
+    if invariant_failures:
+        for failure in invariant_failures:
+            print(f"invariant violation: {failure}", file=sys.stderr)
+        return 1
     return 0
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.errors import ConfigurationError
-    from repro.lint import lint_paths, make_config, render_json, render_rule_list, render_text
+    from repro.lint import (
+        apply_baseline,
+        lint_paths,
+        make_config,
+        parse_baseline,
+        render_baseline,
+        render_json,
+        render_rule_list,
+        render_text,
+    )
 
     if args.list_rules:
         print(render_rule_list())
         return 0
-    config = make_config(select=tuple(args.select), ignore=tuple(args.ignore))
+    if args.update_baseline and args.baseline is None:
+        print(
+            "rfd-repro lint: --update-baseline requires --baseline FILE",
+            file=sys.stderr,
+        )
+        return 2
+    config = make_config(
+        select=tuple(args.select),
+        ignore=tuple(args.ignore),
+        passes=(args.lint_pass,),
+    )
     try:
         report = lint_paths(args.paths, config)
     except (ConfigurationError, FileNotFoundError) as exc:
         print(f"rfd-repro lint: {exc}", file=sys.stderr)
         return 2
+    if args.baseline is not None:
+        if args.update_baseline:
+            with open(args.baseline, "w", encoding="utf-8") as handle:
+                handle.write(render_baseline(report))
+            print(
+                f"wrote baseline with {report.finding_count} finding(s) "
+                f"to {args.baseline}"
+            )
+            return 0
+        try:
+            with open(args.baseline, "r", encoding="utf-8") as handle:
+                counts = parse_baseline(handle.read())
+        except (ConfigurationError, OSError) as exc:
+            print(f"rfd-repro lint: {exc}", file=sys.stderr)
+            return 2
+        report = apply_baseline(report, counts)
     renderer = render_json if args.output_format == "json" else render_text
     print(renderer(report))
     return 0 if report.ok else 1
@@ -211,7 +320,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
-        return _cmd_run(args.experiments, args.csv_dir)
+        return _cmd_run(args.experiments, args.csv_dir, args.check_invariants)
     if args.command == "intended":
         return _cmd_intended(args)
     if args.command == "simulate":

@@ -147,11 +147,40 @@ class SweepSeries:
         return sum(p.warmup_convergence for p in self.points) / len(self.points)
 
 
+#: When True, every :func:`run_point` episode is followed by a pass of
+#: the converged-state invariant oracle. Toggled by the CLI's
+#: ``--check-invariants`` flag; a module-level switch (rather than a
+#: parameter) because experiment drivers take no arguments by contract.
+_CHECK_INVARIANTS = False
+
+
+def set_invariant_checking(enabled: bool) -> None:
+    """Enable/disable the post-episode invariant oracle for sweeps."""
+    global _CHECK_INVARIANTS
+    _CHECK_INVARIANTS = enabled
+
+
+def invariant_checking_enabled() -> bool:
+    return _CHECK_INVARIANTS
+
+
 def run_point(config: ScenarioConfig, pulses: int, flap_interval: float = 60.0) -> FlapRunResult:
-    """Build a fresh scenario and run one episode."""
+    """Build a fresh scenario and run one episode.
+
+    With :func:`set_invariant_checking` enabled, the drained scenario is
+    swept by :func:`repro.analysis.invariants.check_converged_invariants`
+    and a violation raises ``SimulationError``.
+    """
     scenario = Scenario(config)
     scenario.warm_up()
-    return scenario.run(PulseSchedule.regular(pulses, flap_interval))
+    result = scenario.run(PulseSchedule.regular(pulses, flap_interval))
+    if _CHECK_INVARIANTS:
+        # Imported lazily: analysis.invariants imports workload.scenarios,
+        # which sits below this module in the layering.
+        from repro.analysis.invariants import check_converged_invariants
+
+        check_converged_invariants(scenario).raise_on_violation()
+    return result
 
 
 def run_sweep(

@@ -1,45 +1,69 @@
-"""detlint — determinism & protocol-safety static analysis.
+"""Static analysis for the reproduction: detlint + semlint.
 
 The paper's headline effects (secondary charging, muffling, the ``Nh``
 crossover) are timer-interaction effects, so the reproduction is only
-trustworthy if a fixed seed yields bit-identical runs. This package
-turns that convention into a machine-checked invariant: an AST-based
-rule framework (:mod:`repro.lint.rules`), a driver with line-scoped
-``# detlint: disable=DET0xx`` suppressions (:mod:`repro.lint.runner`),
-and text/JSON reporters (:mod:`repro.lint.reporters`).
+trustworthy if a fixed seed yields bit-identical runs *and* the RFD/BGP
+layers honour their semantic contracts. This package turns both
+conventions into machine-checked invariants:
 
-Run it as ``rfd-repro lint src/``; the tier-1 suite gates the whole
-tree through :func:`lint_paths`. The complementary *runtime* check —
-the engine's schedule-race detector — lives in
-:mod:`repro.sim.engine`; see ``docs/DETERMINISM.md`` for both.
+* **detlint** (``DET0xx``, :mod:`repro.lint.rules`) — determinism
+  hazards: wall-clock reads, global RNG state, unordered iteration,
+  float-equality on simulated time, unsorted filesystem listings.
+* **semlint** (``SEM0xx``, :mod:`repro.lint.semantics`) — protocol
+  semantics: decision-process purity (via the effect-inference engine
+  in :mod:`repro.lint.effects`), timer scheduling through the Engine/
+  Timer APIs, named penalty constants, monotonic RCN sequence checks,
+  metrics-visible RIB mutations.
+
+Both passes share one rule framework (:mod:`repro.lint.framework`), a
+driver with construct-scoped ``# detlint: disable=...`` suppressions and
+``--baseline`` support (:mod:`repro.lint.runner`,
+:mod:`repro.lint.baseline`), and text/JSON reporters
+(:mod:`repro.lint.reporters`).
+
+Run it as ``rfd-repro lint --pass all src/``; the tier-1 suite gates the
+whole tree through :func:`lint_paths`. The complementary *runtime*
+checks — the engine's schedule-race detector and the converged-state
+invariant oracle — live in :mod:`repro.sim.engine` and
+:mod:`repro.analysis.invariants`; see ``docs/STATIC_ANALYSIS.md`` for
+the full catalogue.
 """
 
-from repro.lint.config import DEFAULT_PROTECTED_PACKAGES, LintConfig, make_config
-from repro.lint.findings import Finding, LintReport
-from repro.lint.reporters import render_json, render_rule_list, render_text
-from repro.lint.rules import (
-    RULE_IDS,
-    FileContext,
-    Rule,
-    all_rule_ids,
-    iter_rules,
+from repro.lint.baseline import (
+    apply_baseline,
+    baseline_counts,
+    parse_baseline,
+    render_baseline,
 )
+from repro.lint.config import DEFAULT_PROTECTED_PACKAGES, LintConfig, make_config
+from repro.lint.effects import EffectAnalysis, FunctionEffects, analyze_effects
+from repro.lint.findings import Finding, LintReport
+from repro.lint.framework import FileContext, Rule, all_rule_ids, iter_rules
+from repro.lint.reporters import render_json, render_rule_list, render_text
+from repro.lint.rules import RULE_IDS
 from repro.lint.runner import lint_paths, lint_source, parse_suppressions
 
 __all__ = [
     "DEFAULT_PROTECTED_PACKAGES",
+    "EffectAnalysis",
     "FileContext",
     "Finding",
+    "FunctionEffects",
     "LintConfig",
     "LintReport",
     "RULE_IDS",
     "Rule",
     "all_rule_ids",
+    "analyze_effects",
+    "apply_baseline",
+    "baseline_counts",
     "iter_rules",
     "lint_paths",
     "lint_source",
     "make_config",
+    "parse_baseline",
     "parse_suppressions",
+    "render_baseline",
     "render_json",
     "render_rule_list",
     "render_text",

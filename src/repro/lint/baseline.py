@@ -1,0 +1,116 @@
+"""Baseline record/compare for the lint passes.
+
+A baseline file freezes the currently known findings so a rule can be
+introduced (or tightened) without forcing every legacy hit to be fixed
+in the same change. Findings are identified by
+:attr:`~repro.lint.findings.Finding.baseline_key` —
+``path::rule::message``, deliberately line-independent so unrelated
+edits that shift code do not invalidate the baseline — with a count per
+key, so *new* occurrences of an already-baselined pattern still fail.
+
+Policy (see ``docs/STATIC_ANALYSIS.md``): a baseline is a debt ledger,
+not a licence — entries are expected to shrink over time, and
+``--update-baseline`` must never be run to absorb a regression.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.errors import ConfigurationError
+from repro.lint.findings import Finding, LintReport
+
+#: Schema marker so future format changes can migrate cleanly.
+_BASELINE_VERSION = 1
+
+
+def baseline_counts(findings: List[Finding]) -> Dict[str, int]:
+    """Occurrence count per baseline key, sorted by key."""
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        counts[finding.baseline_key] = counts.get(finding.baseline_key, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def render_baseline(report: LintReport) -> str:
+    """Serialise the report's active findings as a baseline document."""
+    document = {
+        "version": _BASELINE_VERSION,
+        "findings": baseline_counts(report.findings),
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def parse_baseline(text: str) -> Dict[str, int]:
+    """Parse a baseline document into its key -> count mapping."""
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"baseline file is not valid JSON: {exc}") from exc
+    if not isinstance(document, dict) or "findings" not in document:
+        raise ConfigurationError(
+            "baseline file must be an object with a 'findings' mapping"
+        )
+    version = document.get("version")
+    if version != _BASELINE_VERSION:
+        raise ConfigurationError(
+            f"unsupported baseline version {version!r} "
+            f"(expected {_BASELINE_VERSION})"
+        )
+    findings = document["findings"]
+    if not isinstance(findings, dict):
+        raise ConfigurationError("baseline 'findings' must be a mapping")
+    counts: Dict[str, int] = {}
+    for key, count in findings.items():
+        if not isinstance(key, str) or not isinstance(count, int) or count < 1:
+            raise ConfigurationError(
+                f"baseline entry {key!r}: {count!r} is not a positive count"
+            )
+        counts[key] = count
+    return counts
+
+
+def apply_baseline(report: LintReport, counts: Dict[str, int]) -> LintReport:
+    """Demote baselined findings; return the rewritten report.
+
+    The first ``counts[key]`` findings sharing a baseline key are moved
+    to ``report.baselined`` (they no longer fail the run); any excess
+    stays active, so introducing *more* of a baselined pattern is still
+    caught. Suppression lists and file counts carry over unchanged.
+    """
+    budget = dict(counts)
+    active: List[Finding] = []
+    baselined: List[Finding] = list(report.baselined)
+    for finding in report.findings:
+        key = finding.baseline_key
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            baselined.append(
+                Finding(
+                    rule_id=finding.rule_id,
+                    message=finding.message,
+                    path=finding.path,
+                    line=finding.line,
+                    col=finding.col,
+                    end_line=finding.end_line,
+                    baselined=True,
+                )
+            )
+        else:
+            active.append(finding)
+    return LintReport(
+        findings=active,
+        suppressed=report.suppressed,
+        baselined=baselined,
+        files_checked=report.files_checked,
+        parse_errors=report.parse_errors,
+    )
+
+
+__all__ = [
+    "apply_baseline",
+    "baseline_counts",
+    "parse_baseline",
+    "render_baseline",
+]

@@ -1,0 +1,328 @@
+"""Intra-file call-graph and effect inference for the semlint pass.
+
+Protocol-semantics rules need to know *what a function does*, not just
+what tokens it contains. This module classifies every function (and
+method) of one file into a set of effects:
+
+``reads-clock``
+    Reads simulated time (``engine.now`` / ``self._engine.now``).
+``schedules-timer``
+    Schedules future work — ``Engine.schedule``/``schedule_at``,
+    ``call_soon``, ``Timer`` arming methods, or an API known to arm
+    timers internally (``DampingManager.record_update``).
+``mutates-rib``
+    Writes routing state — ``LocRib.set_route``, Adj-RIB ``apply``,
+    ``record_announcement``/``record_withdrawal``.
+``emits-update``
+    Sends protocol messages (``Node.send``).
+
+A function with none of these is *pure* — the contract the BGP decision
+process must satisfy (rule SEM001). Inference is deliberately
+lightweight and sound-ish rather than complete: effects are detected
+syntactically (receiver and method names), then propagated transitively
+over the intra-file call graph (bare-name calls resolve to module-level
+functions, ``self.x()`` calls to methods of the enclosing class) until a
+fixed point. Cross-file calls are covered by a small table of known
+effectful APIs; unknown callees are assumed pure.
+
+Nested functions and lambdas count toward the enclosing function's
+effects: in an event-driven simulator a closure is created precisely to
+be scheduled, so "defines an effectful callback" is treated as "has the
+effect".
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+#: Effect labels (the vocabulary of the classification).
+READS_CLOCK = "reads-clock"
+SCHEDULES_TIMER = "schedules-timer"
+MUTATES_RIB = "mutates-rib"
+EMITS_UPDATE = "emits-update"
+
+ALL_EFFECTS: FrozenSet[str] = frozenset(
+    {READS_CLOCK, SCHEDULES_TIMER, MUTATES_RIB, EMITS_UPDATE}
+)
+
+#: Attribute names that denote simulated instants. Shared vocabulary of
+#: DET005 (exact equality on bare time operands) and SEM004 (equality on
+#: time-valued expressions).
+TIME_NAMES: FrozenSet[str] = frozenset(
+    {
+        "now",
+        "_now",
+        "time",
+        "expiry",
+        "deadline",
+        "sent_at",
+        "delivered_at",
+        "deliver_at",
+        "attach_time",
+        "start_time",
+        "end_time",
+        "fire_time",
+    }
+)
+
+#: Receiver names that denote the simulation engine.
+ENGINE_RECEIVERS: FrozenSet[str] = frozenset({"engine", "_engine"})
+
+#: Method names that schedule future work regardless of receiver: the
+#: engine's scheduling entry points plus the Timer life-cycle methods
+#: (``reschedule``/``restart_if_idle`` are timer-specific names in this
+#: codebase; plain ``start`` is too generic and needs a timer receiver).
+_SCHEDULING_METHODS: FrozenSet[str] = frozenset(
+    {"schedule", "schedule_at", "call_soon", "reschedule", "restart_if_idle"}
+)
+
+#: Method names that mutate routing state regardless of receiver.
+_RIB_MUTATORS: FrozenSet[str] = frozenset(
+    {"set_route", "record_announcement", "record_withdrawal"}
+)
+
+#: Cross-module APIs known to carry an effect even though their body is
+#: not visible to an intra-file analysis.
+KNOWN_API_EFFECTS: Dict[str, str] = {
+    "record_update": SCHEDULES_TIMER,  # DampingManager arms reuse timers
+    "send": EMITS_UPDATE,  # Node.send / BgpRouter.send
+}
+
+
+@dataclass(frozen=True)
+class FunctionEffects:
+    """Inferred effect classification of one function."""
+
+    qualname: str
+    name: str
+    line: int
+    #: Effects evident in this function's own body (including closures).
+    direct: FrozenSet[str]
+    #: ``direct`` closed over the intra-file call graph.
+    transitive: FrozenSet[str]
+    #: Intra-file callees this function's transitive effects flowed from.
+    calls: Tuple[str, ...]
+
+    @property
+    def is_pure(self) -> bool:
+        return not self.transitive
+
+    @property
+    def classification(self) -> str:
+        """Human-readable label: ``pure`` or a ``+``-joined effect list."""
+        if self.is_pure:
+            return "pure"
+        return "+".join(sorted(self.transitive))
+
+
+class EffectAnalysis:
+    """Effect classification of every function in one file."""
+
+    def __init__(self, functions: Dict[str, FunctionEffects]) -> None:
+        self._functions = functions
+
+    def function(self, qualname: str) -> Optional[FunctionEffects]:
+        return self._functions.get(qualname)
+
+    def iter_functions(self) -> Iterator[FunctionEffects]:
+        for qualname in sorted(self._functions):
+            yield self._functions[qualname]
+
+    def impure_functions(self) -> List[FunctionEffects]:
+        return [f for f in self.iter_functions() if not f.is_pure]
+
+    def __len__(self) -> int:
+        return len(self._functions)
+
+
+def _receiver_name(node: ast.expr) -> Optional[str]:
+    """Last name segment of a receiver expression (``self.engine`` ->
+    ``engine``, ``entry.timer`` -> ``timer``, ``engine`` -> ``engine``)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _is_self_call(func: ast.expr) -> Optional[str]:
+    """Method name when ``func`` is ``self.<method>``, else None."""
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "self"
+    ):
+        return func.attr
+    return None
+
+
+def _direct_effects_of_call(call: ast.Call) -> Set[str]:
+    effects: Set[str] = set()
+    func = call.func
+    if isinstance(func, ast.Name):
+        if func.id == "call_soon":
+            effects.add(SCHEDULES_TIMER)
+        return effects
+    if not isinstance(func, ast.Attribute):
+        return effects
+    method = func.attr
+    receiver = _receiver_name(func.value)
+    if method in _SCHEDULING_METHODS:
+        effects.add(SCHEDULES_TIMER)
+    elif method == "start" and receiver is not None and "timer" in receiver.lower():
+        effects.add(SCHEDULES_TIMER)
+    if method in _RIB_MUTATORS:
+        effects.add(MUTATES_RIB)
+    elif method == "apply" and receiver is not None and (
+        "rib" in receiver.lower() or "table" in receiver.lower()
+    ):
+        effects.add(MUTATES_RIB)
+    if method in KNOWN_API_EFFECTS:
+        effects.add(KNOWN_API_EFFECTS[method])
+    return effects
+
+
+def _scan_direct_effects(node: ast.AST) -> Set[str]:
+    """Effects evident in one function's subtree (closures included)."""
+    effects: Set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute):
+            if sub.attr == "now" and _receiver_name(sub.value) in ENGINE_RECEIVERS:
+                effects.add(READS_CLOCK)
+        elif isinstance(sub, ast.Call):
+            effects.update(_direct_effects_of_call(sub))
+    return effects
+
+
+def _collect_callees(node: ast.AST) -> Set[Tuple[str, bool]]:
+    """``(name, is_self_call)`` tokens for every call in the subtree."""
+    callees: Set[Tuple[str, bool]] = set()
+    for sub in ast.walk(node):
+        if not isinstance(sub, ast.Call):
+            continue
+        method = _is_self_call(sub.func)
+        if method is not None:
+            callees.add((method, True))
+        elif isinstance(sub.func, ast.Name):
+            callees.add((sub.func.id, False))
+    return callees
+
+
+class _FunctionRecord:
+    __slots__ = ("qualname", "name", "line", "owner_class", "direct", "callees")
+
+    def __init__(
+        self,
+        qualname: str,
+        name: str,
+        line: int,
+        owner_class: Optional[str],
+        direct: Set[str],
+        callees: Set[Tuple[str, bool]],
+    ) -> None:
+        self.qualname = qualname
+        self.name = name
+        self.line = line
+        self.owner_class = owner_class
+        self.direct = direct
+        self.callees = callees
+
+
+def _collect_functions(tree: ast.AST) -> List[_FunctionRecord]:
+    records: List[_FunctionRecord] = []
+
+    def visit(node: ast.AST, scope: Tuple[str, ...], owner: Optional[str]) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                visit(child, scope + (child.name,), child.name)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = ".".join(scope + (child.name,))
+                records.append(
+                    _FunctionRecord(
+                        qualname=qualname,
+                        name=child.name,
+                        line=child.lineno,
+                        owner_class=owner,
+                        direct=_scan_direct_effects(child),
+                        callees=_collect_callees(child),
+                    )
+                )
+                # Nested defs are also recorded individually; the owner
+                # class no longer applies inside them.
+                visit(child, scope + (child.name,), None)
+            else:
+                visit(child, scope, owner)
+
+    visit(tree, (), None)
+    return records
+
+
+def analyze_effects(tree: ast.AST) -> EffectAnalysis:
+    """Classify every function of one parsed file.
+
+    Effects are first detected per function body, then propagated over
+    the intra-file call graph (bare names -> module-level functions,
+    ``self.x()`` -> same-class methods) to a fixed point.
+    """
+    records = _collect_functions(tree)
+    by_qualname = {record.qualname: record for record in records}
+    module_level = {
+        record.name: record.qualname for record in records if "." not in record.qualname
+    }
+    by_class: Dict[str, Dict[str, str]] = {}
+    for record in records:
+        if record.owner_class is not None:
+            by_class.setdefault(record.owner_class, {})[record.name] = record.qualname
+
+    edges: Dict[str, Set[str]] = {record.qualname: set() for record in records}
+    for record in records:
+        for callee_name, is_self in record.callees:
+            target: Optional[str] = None
+            if is_self and record.owner_class is not None:
+                target = by_class.get(record.owner_class, {}).get(callee_name)
+            elif not is_self:
+                target = module_level.get(callee_name)
+            if target is not None and target != record.qualname:
+                edges[record.qualname].add(target)
+
+    transitive: Dict[str, Set[str]] = {
+        record.qualname: set(record.direct) for record in records
+    }
+    changed = True
+    while changed:
+        changed = False
+        for qualname, callees in edges.items():
+            for callee in callees:
+                missing = transitive[callee] - transitive[qualname]
+                if missing:
+                    transitive[qualname].update(missing)
+                    changed = True
+
+    functions: Dict[str, FunctionEffects] = {}
+    for record in records:
+        functions[record.qualname] = FunctionEffects(
+            qualname=record.qualname,
+            name=record.name,
+            line=record.line,
+            direct=frozenset(record.direct),
+            transitive=frozenset(transitive[record.qualname]),
+            calls=tuple(sorted(edges[record.qualname])),
+        )
+    return EffectAnalysis(functions)
+
+
+__all__ = [
+    "ALL_EFFECTS",
+    "EMITS_UPDATE",
+    "ENGINE_RECEIVERS",
+    "EffectAnalysis",
+    "FunctionEffects",
+    "KNOWN_API_EFFECTS",
+    "MUTATES_RIB",
+    "READS_CLOCK",
+    "SCHEDULES_TIMER",
+    "TIME_NAMES",
+    "analyze_effects",
+]

@@ -1,9 +1,10 @@
-"""Finding and report types for the detlint static-analysis pass.
+"""Finding and report types for the static-analysis passes.
 
 A :class:`Finding` pins one rule violation to a ``file:line`` location; a
 :class:`LintReport` aggregates the findings of a whole run together with
 bookkeeping the reporters and the CI gate need (files checked, findings
-silenced by suppression comments, files that failed to parse).
+silenced by suppression comments or a baseline, files that failed to
+parse).
 """
 
 from __future__ import annotations
@@ -21,12 +22,32 @@ class Finding:
     path: str
     line: int
     col: int = 0
+    #: Last physical line of the flagged construct; suppression comments
+    #: anywhere in ``line..end_line`` (continuation lines) are honoured.
+    end_line: int = 0
     suppressed: bool = False
+    #: True when the finding is silenced by a ``--baseline`` file rather
+    #: than fixed; baselined findings do not fail the run.
+    baselined: bool = False
+
+    def __post_init__(self) -> None:
+        if self.end_line < self.line:
+            object.__setattr__(self, "end_line", self.line)
 
     @property
     def location(self) -> str:
         """``file:line`` rendering used by reporters and error output."""
         return f"{self.path}:{self.line}"
+
+    @property
+    def baseline_key(self) -> str:
+        """Line-independent identity used by baseline record/compare.
+
+        Deliberately excludes the line number so findings survive
+        unrelated edits that shift code up or down a file.
+        """
+        path = self.path.replace("\\", "/")
+        return f"{path}::{self.rule_id}::{self.message}"
 
     def as_dict(self) -> Dict[str, object]:
         """JSON-serialisable form (used by the JSON reporter)."""
@@ -36,7 +57,9 @@ class Finding:
             "path": self.path,
             "line": self.line,
             "col": self.col,
+            "end_line": self.end_line,
             "suppressed": self.suppressed,
+            "baselined": self.baselined,
         }
 
 
@@ -46,6 +69,8 @@ class LintReport:
 
     findings: List[Finding] = field(default_factory=list)
     suppressed: List[Finding] = field(default_factory=list)
+    #: Findings matched (and silenced) by a ``--baseline`` file.
+    baselined: List[Finding] = field(default_factory=list)
     files_checked: int = 0
     #: ``(path, error message)`` for files that could not be parsed.
     parse_errors: List[Tuple[str, str]] = field(default_factory=list)
@@ -70,5 +95,6 @@ class LintReport:
         """Merge ``other`` (one file's report) into this run-level report."""
         self.findings.extend(other.findings)
         self.suppressed.extend(other.suppressed)
+        self.baselined.extend(other.baselined)
         self.files_checked += other.files_checked
         self.parse_errors.extend(other.parse_errors)

@@ -1,8 +1,8 @@
 """Render a :class:`~repro.lint.findings.LintReport` for humans or tools.
 
 The text reporter is what ``rfd-repro lint`` prints; the JSON reporter
-feeds editors and CI annotations. Both are pure functions of the report
-so they stay trivially testable.
+feeds editors and the CI findings artifact. Both are pure functions of
+the report so they stay trivially testable.
 """
 
 from __future__ import annotations
@@ -29,6 +29,8 @@ def render_text(report: LintReport) -> str:
     )
     if report.suppressed:
         summary += f", {len(report.suppressed)} suppressed"
+    if report.baselined:
+        summary += f", {len(report.baselined)} baselined"
     if report.parse_errors:
         summary += f", {len(report.parse_errors)} parse error(s)"
     by_rule = report.counts_by_rule()
@@ -47,6 +49,7 @@ def render_json(report: LintReport) -> str:
         "counts_by_rule": report.counts_by_rule(),
         "findings": [f.as_dict() for f in report.findings],
         "suppressed": [f.as_dict() for f in report.suppressed],
+        "baselined": [f.as_dict() for f in report.baselined],
         "parse_errors": [
             {"path": path, "error": error} for path, error in report.parse_errors
         ],

@@ -1,11 +1,13 @@
-"""The detlint rule catalogue.
+"""The detlint (determinism) rule catalogue.
 
-Every rule subclasses :class:`Rule` and inspects one file's AST through a
-:class:`FileContext` (parsed tree with parent links, import alias map,
-module name, config). Rules yield :class:`~repro.lint.findings.Finding`
-rows; suppression filtering happens in the runner, not here.
+Every rule subclasses :class:`~repro.lint.framework.Rule` and inspects
+one file's AST through a :class:`~repro.lint.framework.FileContext`.
+The protocol-semantics catalogue (SEM001..) lives in
+:mod:`repro.lint.semantics`; importing this module pulls both in, so
+``RULE_IDS`` below always spells the full catalogue.
 
-The catalogue (see ``docs/DETERMINISM.md`` for rationale and examples):
+The determinism catalogue (see ``docs/STATIC_ANALYSIS.md`` for rationale
+and examples):
 
 ========  ==========================================================
 DET001    wall-clock reads (``time.time``, ``datetime.now``, ...)
@@ -16,139 +18,34 @@ DET005    ``==``/``!=`` on simulated-time floats
 DET006    re-entrant ``Engine.run`` from an event callback (closure)
 DET007    environment/filesystem access inside protected packages
 DET008    mutable default arguments in public simulator APIs
+DET009    unsorted filesystem iteration (``os.listdir``, ``glob``, ...)
 ========  ==========================================================
 """
 
 from __future__ import annotations
 
 import ast
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple, Type
+from typing import FrozenSet, Iterator, List, Optional, Tuple
 
-from repro.lint.config import LintConfig
+from repro.lint.effects import TIME_NAMES
 from repro.lint.findings import Finding
+from repro.lint.framework import (
+    FileContext,
+    Rule,
+    all_rule_ids,
+    iter_calls,
+    iter_rules,
+    register,
+)
 
-_PARENT_ATTR = "_detlint_parent"
-
-
-# ----------------------------------------------------------------------
-# file context
-# ----------------------------------------------------------------------
-
-
-@dataclass
-class FileContext:
-    """Everything a rule may look at while checking one file."""
-
-    path: str
-    tree: ast.AST
-    config: LintConfig
-    #: Dotted module name (``repro.sim.engine``) when derivable, else None.
-    module: Optional[str] = None
-    #: Local name -> fully qualified name, built from import statements.
-    aliases: Dict[str, str] = field(default_factory=dict)
-
-    def __post_init__(self) -> None:
-        self._link_parents()
-        self._collect_aliases()
-
-    def _link_parents(self) -> None:
-        for node in ast.walk(self.tree):
-            for child in ast.iter_child_nodes(node):
-                setattr(child, _PARENT_ATTR, node)
-
-    def _collect_aliases(self) -> None:
-        for node in ast.walk(self.tree):
-            if isinstance(node, ast.Import):
-                for alias in node.names:
-                    self.aliases[alias.asname or alias.name.split(".")[0]] = (
-                        alias.name
-                    )
-            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
-                for alias in node.names:
-                    self.aliases[alias.asname or alias.name] = (
-                        f"{node.module}.{alias.name}"
-                    )
-
-    def parent(self, node: ast.AST) -> Optional[ast.AST]:
-        return getattr(node, _PARENT_ATTR, None)
-
-    def qualified_name(self, node: ast.AST) -> Optional[str]:
-        """Resolve a ``Name``/``Attribute`` chain to a dotted name, expanding
-        the leading segment through the file's import aliases."""
-        parts: List[str] = []
-        current = node
-        while isinstance(current, ast.Attribute):
-            parts.append(current.attr)
-            current = current.value
-        if not isinstance(current, ast.Name):
-            return None
-        head = self.aliases.get(current.id, current.id)
-        parts.append(head)
-        return ".".join(reversed(parts))
-
-    def finding(self, rule: "Rule", node: ast.AST, message: str) -> Finding:
-        return Finding(
-            rule_id=rule.id,
-            message=message,
-            path=self.path,
-            line=getattr(node, "lineno", 1),
-            col=getattr(node, "col_offset", 0),
-        )
-
-
-# ----------------------------------------------------------------------
-# rule framework
-# ----------------------------------------------------------------------
-
-
-class Rule:
-    """Base class for detlint rules.
-
-    Subclasses set the class attributes and implement :meth:`check`, a
-    generator over findings for one file. Registration happens through
-    the :func:`register` decorator so the catalogue below is the single
-    source of truth for ``--list-rules`` and the documentation gate.
-    """
-
-    id: str = ""
-    title: str = ""
-    rationale: str = ""
-
-    def check(self, context: FileContext) -> Iterator[Finding]:
-        raise NotImplementedError
-
-
-_REGISTRY: Dict[str, Type[Rule]] = {}
-
-
-def register(rule_class: Type[Rule]) -> Type[Rule]:
-    """Class decorator adding a rule to the global catalogue."""
-    if not rule_class.id:
-        raise ValueError(f"rule {rule_class.__name__} has no id")
-    if rule_class.id in _REGISTRY:
-        raise ValueError(f"duplicate rule id {rule_class.id}")
-    _REGISTRY[rule_class.id] = rule_class
-    return rule_class
-
-
-def all_rule_ids() -> FrozenSet[str]:
-    return frozenset(_REGISTRY)
-
-
-def iter_rules(config: Optional[LintConfig] = None) -> List[Rule]:
-    """Instantiate the enabled rules, sorted by id."""
-    rules: List[Rule] = []
-    for rule_id in sorted(_REGISTRY):
-        if config is None or config.rule_enabled(rule_id):
-            rules.append(_REGISTRY[rule_id]())
-    return rules
-
-
-def _iter_calls(context: FileContext) -> Iterator[ast.Call]:
-    for node in ast.walk(context.tree):
-        if isinstance(node, ast.Call):
-            yield node
+__all__ = [
+    "RULE_IDS",
+    "FileContext",
+    "Rule",
+    "all_rule_ids",
+    "iter_rules",
+    "register",
+]
 
 
 # ----------------------------------------------------------------------
@@ -184,7 +81,7 @@ class WallClockRule(Rule):
     )
 
     def check(self, context: FileContext) -> Iterator[Finding]:
-        for call in _iter_calls(context):
+        for call in iter_calls(context):
             name = context.qualified_name(call.func)
             if name in _WALL_CLOCK_CALLS:
                 yield context.finding(
@@ -237,7 +134,7 @@ class GlobalRandomRule(Rule):
     )
 
     def check(self, context: FileContext) -> Iterator[Finding]:
-        for call in _iter_calls(context):
+        for call in iter_calls(context):
             name = context.qualified_name(call.func)
             if name is None or not name.startswith("random."):
                 continue
@@ -377,23 +274,6 @@ class HashOrderingRule(Rule):
 # DET005 — float equality on simulated time
 # ----------------------------------------------------------------------
 
-_TIME_NAMES = frozenset(
-    {
-        "now",
-        "_now",
-        "time",
-        "expiry",
-        "deadline",
-        "sent_at",
-        "delivered_at",
-        "deliver_at",
-        "attach_time",
-        "start_time",
-        "end_time",
-        "fire_time",
-    }
-)
-
 
 @register
 class TimeEqualityRule(Rule):
@@ -431,9 +311,9 @@ class TimeEqualityRule(Rule):
     @staticmethod
     def _is_time_operand(node: ast.expr) -> bool:
         if isinstance(node, ast.Attribute):
-            return node.attr in _TIME_NAMES
+            return node.attr in TIME_NAMES
         if isinstance(node, ast.Name):
-            return node.id in _TIME_NAMES
+            return node.id in TIME_NAMES
         return False
 
     @staticmethod
@@ -470,7 +350,7 @@ class ReentrantRunRule(Rule):
     )
 
     def check(self, context: FileContext) -> Iterator[Finding]:
-        for call in _iter_calls(context):
+        for call in iter_calls(context):
             func = call.func
             if not isinstance(func, ast.Attribute):
                 continue
@@ -609,4 +489,89 @@ class MutableDefaultRule(Rule):
         return False
 
 
-RULE_IDS: Tuple[str, ...] = tuple(sorted(_REGISTRY))
+# ----------------------------------------------------------------------
+# DET009 — unsorted filesystem iteration
+# ----------------------------------------------------------------------
+
+#: Fully qualified calls whose result order is filesystem-dependent.
+_FS_LISTING_CALLS = frozenset(
+    {"os.listdir", "os.scandir", "glob.glob", "glob.iglob"}
+)
+#: Path-object methods with filesystem-dependent order. ``glob`` is
+#: matched as a method (``some_path.glob(...)``) — the module-level
+#: ``glob.glob`` resolves through the alias map above instead.
+_FS_LISTING_METHODS = frozenset({"iterdir", "glob", "rglob"})
+
+
+@register
+class UnsortedFsIterationRule(Rule):
+    """Directory listing order is an OS detail, not a guarantee."""
+
+    id = "DET009"
+    title = "unsorted filesystem iteration"
+    rationale = (
+        "os.listdir()/glob.glob()/Path.iterdir() return entries in "
+        "filesystem order, which differs across platforms and even "
+        "across runs on some filesystems; wrap the listing in sorted() "
+        "before iterating or emitting it."
+    )
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        for call in iter_calls(context):
+            name = self._listing_name(context, call)
+            if name is None:
+                continue
+            if self._inside_sorted(context, call):
+                continue
+            yield context.finding(
+                self,
+                call,
+                f"{name}() yields entries in filesystem order — wrap the "
+                "listing in sorted()",
+            )
+
+    @staticmethod
+    def _listing_name(context: FileContext, call: ast.Call) -> Optional[str]:
+        qualified = context.qualified_name(call.func)
+        if qualified in _FS_LISTING_CALLS:
+            return qualified
+        if (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr in _FS_LISTING_METHODS
+            and qualified not in _FS_LISTING_CALLS
+            and not (qualified or "").startswith("glob.")
+        ):
+            return f".{call.func.attr}"
+        return None
+
+    @staticmethod
+    def _inside_sorted(context: FileContext, node: ast.AST) -> bool:
+        """True when the listing feeds a ``sorted(...)`` call, possibly
+        through a comprehension or generator expression."""
+        current: Optional[ast.AST] = context.parent(node)
+        while current is not None:
+            if isinstance(current, ast.Call):
+                func = current.func
+                if isinstance(func, ast.Name) and func.id == "sorted":
+                    return True
+                current = context.parent(current)
+                continue
+            if isinstance(
+                current,
+                (ast.GeneratorExp, ast.ListComp, ast.SetComp, ast.comprehension),
+            ):
+                current = context.parent(current)
+                continue
+            return False
+        return False
+
+
+# ----------------------------------------------------------------------
+# catalogue
+# ----------------------------------------------------------------------
+
+# Importing the semantics module registers the SEM pass; it lives in its
+# own file but shares this registry, so RULE_IDS spells both catalogues.
+import repro.lint.semantics  # noqa: E402,F401  (registers SEM rules)
+
+RULE_IDS: Tuple[str, ...] = tuple(sorted(all_rule_ids()))

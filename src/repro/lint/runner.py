@@ -1,13 +1,17 @@
-"""The detlint driver: file discovery, parsing, suppression handling.
+"""The lint driver: file discovery, parsing, suppression handling.
 
 :func:`lint_paths` is the entry point the CLI and the tier-1 hygiene gate
-share. Suppression comments are line-scoped::
+share; it runs whichever passes (detlint / semlint) the config enables.
+Suppression comments are construct-scoped::
 
     t = time.time()  # detlint: disable=DET001
     u = time.time()  # detlint: disable=all
 
-A suppressed finding is still recorded (reporters show the count) but
-does not fail the run.
+A directive silences a finding when it sits on any physical line of the
+flagged construct (so continuation lines of a multi-line call work), or
+on a decorator line of the flagged ``def``/``class``. A suppressed
+finding is still recorded (reporters show the count) but does not fail
+the run.
 """
 
 from __future__ import annotations
@@ -57,6 +61,40 @@ def parse_suppressions(source: str) -> Dict[int, Set[str]]:
     return suppressions
 
 
+def _decorator_lines(tree: ast.AST) -> Dict[int, List[int]]:
+    """Map a decorated def/class's ``lineno`` to its decorator lines, so a
+    directive on ``@decorator`` also covers findings anchored at the
+    ``def`` line below it."""
+    mapping: Dict[int, List[int]] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            if node.decorator_list:
+                mapping[node.lineno] = [
+                    line
+                    for decorator in node.decorator_list
+                    for line in range(
+                        decorator.lineno,
+                        (getattr(decorator, "end_lineno", None) or decorator.lineno)
+                        + 1,
+                    )
+                ]
+    return mapping
+
+
+def _disabled_rules(
+    finding: Finding,
+    suppressions: Dict[int, Set[str]],
+    decorators: Dict[int, List[int]],
+) -> Set[str]:
+    """Union of directives covering any line of the flagged construct."""
+    lines = list(range(finding.line, finding.end_line + 1))
+    lines.extend(decorators.get(finding.line, []))
+    disabled: Set[str] = set()
+    for line in lines:
+        disabled |= suppressions.get(line, set())
+    return disabled
+
+
 def module_name_for(path: str) -> Optional[str]:
     """Derive a dotted module name from a file path, if the path visibly
     contains the ``repro`` package (e.g. ``src/repro/sim/engine.py`` ->
@@ -94,13 +132,14 @@ def lint_source(
         module = module_name_for(path)
     context = FileContext(path=path, tree=tree, config=config, module=module)
     suppressions = parse_suppressions(source)
+    decorators = _decorator_lines(tree)
     active_rules = rules if rules is not None else iter_rules(config)
     findings: List[Finding] = []
     for rule in active_rules:
         findings.extend(rule.check(context))
     findings.sort(key=lambda f: (f.line, f.col, f.rule_id))
     for finding in findings:
-        disabled = suppressions.get(finding.line, set())
+        disabled = _disabled_rules(finding, suppressions, decorators)
         if "all" in disabled or finding.rule_id in disabled:
             report.suppressed.append(replace(finding, suppressed=True))
         else:

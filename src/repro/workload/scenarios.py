@@ -65,7 +65,7 @@ class ScenarioConfig:
     warmup_horizon: float = 5_000.0
     run_horizon: float = 100_000.0
     #: Opt-in runtime schedule-race detector: record same-instant event
-    #: ties touching the same router (see ``docs/DETERMINISM.md``).
+    #: ties touching the same router (see ``docs/STATIC_ANALYSIS.md``).
     #: Detection is passive — results are bit-identical either way.
     detect_schedule_ties: bool = False
 

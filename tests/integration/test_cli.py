@@ -183,3 +183,105 @@ def test_lint_unknown_rule_id_is_usage_error(capsys):
 
 def test_lint_missing_path_is_usage_error(capsys):
     assert main(["lint", "/nonexistent/path/xyz"]) == 2
+
+# ----------------------------------------------------------------------
+# lint passes (semlint), baselines, invariant checking
+# ----------------------------------------------------------------------
+
+
+MIXED_FIXTURE = (
+    "import time\n"
+    "\n"
+    "def stamp():\n"
+    "    return time.time()\n"
+    "\n"
+    "def is_fresh(rcn, last_seq):\n"
+    "    return rcn.seq != last_seq\n"
+)
+
+
+def test_lint_pass_selection(capsys, tmp_path):
+    fixture = tmp_path / "mixed.py"
+    fixture.write_text(MIXED_FIXTURE, encoding="utf-8")
+
+    assert main(["lint", "--pass", "det", str(fixture)]) == 1
+    out = capsys.readouterr().out
+    assert "DET001" in out and "SEM006" not in out
+
+    assert main(["lint", "--pass", "sem", str(fixture)]) == 1
+    out = capsys.readouterr().out
+    assert "SEM006" in out and "DET001" not in out
+
+    assert main(["lint", "--pass", "all", str(fixture)]) == 1
+    out = capsys.readouterr().out
+    assert "DET001" in out and "SEM006" in out
+
+
+def test_lint_list_rules_includes_sem_catalogue(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    assert "SEM001" in out and "SEM007" in out
+
+
+def test_lint_baseline_record_and_compare(capsys, tmp_path):
+    fixture = tmp_path / "legacy.py"
+    fixture.write_text(MIXED_FIXTURE, encoding="utf-8")
+    baseline = tmp_path / "lint-baseline.json"
+
+    # Without a baseline the findings fail the run.
+    assert main(["lint", str(fixture)]) == 1
+    capsys.readouterr()
+
+    # Record: writes the ledger and exits clean.
+    assert (
+        main(["lint", "--baseline", str(baseline), "--update-baseline", str(fixture)])
+        == 0
+    )
+    capsys.readouterr()
+    assert baseline.exists()
+
+    # Compare: known findings are demoted, run is clean again.
+    assert main(["lint", "--baseline", str(baseline), str(fixture)]) == 0
+    out = capsys.readouterr().out
+    assert "2 baselined" in out
+
+    # A new finding is NOT covered by the ledger.
+    fixture.write_text(MIXED_FIXTURE + '\nfor name in {"a", "b"}:\n    pass\n',
+                       encoding="utf-8")
+    assert main(["lint", "--baseline", str(baseline), str(fixture)]) == 1
+    assert "DET003" in capsys.readouterr().out
+
+
+def test_lint_update_baseline_requires_baseline_path(capsys):
+    assert main(["lint", "--update-baseline", "src"]) == 2
+    assert "--baseline" in capsys.readouterr().err
+
+
+def test_simulate_check_invariants(capsys):
+    assert (
+        main(
+            [
+                "simulate",
+                "--nodes",
+                "9",
+                "--pulses",
+                "1",
+                "--check-invariants",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "invariants" in out
+    assert "ok (9 routers)" in out
+
+
+def test_run_check_invariants(capsys):
+    from repro.experiments.base import invariant_checking_enabled, set_invariant_checking
+
+    try:
+        assert main(["run", "F3", "--check-invariants"]) == 0
+    finally:
+        set_invariant_checking(False)
+    assert not invariant_checking_enabled()
+    assert "F3" in capsys.readouterr().out

@@ -73,7 +73,7 @@ def test_all_reported_ties_are_known_benign(pulses):
     }
     assert not unexpected, (
         f"new schedule-tie kinds {sorted(unexpected)} — ordering-dependent "
-        "behaviour changed; triage before allowlisting (docs/DETERMINISM.md)"
+        "behaviour changed; triage before allowlisting (docs/STATIC_ANALYSIS.md)"
     )
     for tie in result.collector.schedule_ties:
         assert tie.first_seq < tie.second_seq
