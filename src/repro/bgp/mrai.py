@@ -15,6 +15,7 @@ set ``apply_to_withdrawals`` to rate-limit them too.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Callable, Dict, Set
 
@@ -98,9 +99,11 @@ class MraiLimiter:
             return
         timer = self._timers.get(peer)
         if timer is None:
+            # functools.partial rather than a lambda so idle limiters stay
+            # picklable for warm-state snapshots.
             timer = Timer(
                 self._engine,
-                lambda: self._expired(peer),
+                functools.partial(self._expired, peer),
                 name=f"mrai:{self.owner}->{peer}",
                 actor=self.owner,
                 tag="mrai",

@@ -6,6 +6,7 @@ an ad-hoc simulation runner::
     rfd-repro list
     rfd-repro run F8            # reproduce Figure 8 and print its table
     rfd-repro run T1 F3 F7      # several experiments in one invocation
+    rfd-repro run F8 --jobs 4   # sweep points across 4 worker processes
     rfd-repro simulate --topology mesh --nodes 100 --pulses 3 --damping cisco
     rfd-repro lint --pass all src/   # detlint + semlint static analysis
 """
@@ -56,6 +57,17 @@ def _build_parser() -> argparse.ArgumentParser:
             "invariant oracle (fails the run on any violation)"
         ),
     )
+    run.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker processes for sweeps: 1 = sequential (default), "
+            "0 = one per CPU, N = that many; results are digest-identical "
+            "for every value"
+        ),
+    )
 
     intended = sub.add_parser(
         "intended", help="evaluate the Section 3 intended-behaviour model"
@@ -80,6 +92,16 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sim.add_argument("--rcn", action="store_true", help="enable RCN-enhanced damping")
     sim.add_argument("--seed", type=int, default=42)
+    sim.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "accepted for symmetry with 'run'; a single ad-hoc episode "
+            "always executes in-process (the value is only validated)"
+        ),
+    )
     sim.add_argument(
         "--check-invariants",
         action="store_true",
@@ -157,11 +179,20 @@ def _cmd_run(
     experiment_ids: List[str],
     csv_dir: Optional[str],
     check_invariants: bool = False,
+    jobs: int = 1,
 ) -> int:
     if check_invariants:
         from repro.experiments.base import set_invariant_checking
 
         set_invariant_checking(True)
+    if jobs != 1:
+        # Validate eagerly so a bad value fails before any sweep starts;
+        # drivers take no arguments, so the default-jobs switch carries it.
+        from repro.experiments.base import set_default_jobs
+        from repro.experiments.parallel import resolve_jobs
+
+        resolve_jobs(jobs)
+        set_default_jobs(jobs)
     if any(eid.lower() == "all" for eid in experiment_ids):
         experiment_ids = list_experiments()
     for experiment_id in experiment_ids:
@@ -210,6 +241,9 @@ def _cmd_intended(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.experiments.parallel import resolve_jobs
+
+    resolve_jobs(args.jobs)
     if args.topology == "mesh":
         side = max(2, round(args.nodes ** 0.5))
         topology = mesh_topology(side, side)
@@ -320,7 +354,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
-        return _cmd_run(args.experiments, args.csv_dir, args.check_invariants)
+        return _cmd_run(
+            args.experiments, args.csv_dir, args.check_invariants, args.jobs
+        )
     if args.command == "intended":
         return _cmd_intended(args)
     if args.command == "simulate":

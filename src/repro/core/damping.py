@@ -15,6 +15,7 @@ does the bookkeeping either way.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -230,9 +231,11 @@ class DampingManager:
 
     def _ensure_timer(self, peer: str, prefix: str, entry: _Entry) -> Timer:
         if entry.timer is None:
+            # functools.partial rather than a lambda so idle managers stay
+            # picklable for warm-state snapshots.
             entry.timer = Timer(
                 self._engine,
-                lambda: self._reuse_fired(peer, prefix),
+                functools.partial(self._reuse_fired, peer, prefix),
                 name=f"reuse:{self.owner}:{peer}:{prefix}",
                 actor=self.owner,
                 tag="reuse",

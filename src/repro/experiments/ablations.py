@@ -41,6 +41,7 @@ def flap_interval_experiment(
     intervals: Sequence[float] = (30.0, 60.0, 120.0, 240.0),
     pulse_counts: Sequence[int] = ABLATION_PULSES,
     seed: int = DEFAULT_SEED,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """X1: sweep the flapping interval on the standard mesh."""
     rows: List[List[object]] = []
@@ -51,6 +52,7 @@ def flap_interval_experiment(
             mesh100_config(seed=seed),
             pulse_counts,
             flap_interval=interval,
+            jobs=jobs,
         )
         data[f"interval_{interval:.0f}"] = series
         model = IntendedBehaviorModel(
@@ -84,6 +86,7 @@ def partial_deployment_experiment(
     fractions: Sequence[float] = (0.25, 0.5, 0.75, 1.0),
     pulse_counts: Sequence[int] = ABLATION_PULSES,
     seed: int = DEFAULT_SEED,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """X2: damping deployed at a fraction of the mesh's routers."""
     rows: List[List[object]] = []
@@ -93,6 +96,7 @@ def partial_deployment_experiment(
             f"deployment={fraction:.0%}",
             mesh100_config(seed=seed, damping_fraction=fraction),
             pulse_counts,
+            jobs=jobs,
         )
         data[f"fraction_{fraction}"] = series
         for point in series.points:
@@ -121,13 +125,14 @@ def partial_deployment_experiment(
 def vendor_params_experiment(
     pulse_counts: Sequence[int] = ABLATION_PULSES,
     seed: int = DEFAULT_SEED,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """X3: Cisco vs Juniper default parameters on the standard mesh."""
     rows: List[List[object]] = []
     data: Dict[str, SweepSeries] = {}
     for label, params in (("cisco", CISCO_DEFAULTS), ("juniper", JUNIPER_DEFAULTS)):
         series = run_sweep(
-            label, mesh100_config(damping=params, seed=seed), pulse_counts
+            label, mesh100_config(damping=params, seed=seed), pulse_counts, jobs=jobs
         )
         data[label] = series
         model = IntendedBehaviorModel(params, tup=series.mean_warmup)
@@ -213,6 +218,7 @@ def flap_pattern_experiment(
 def mrai_withdrawal_experiment(
     pulse_counts: Sequence[int] = (1, 3),
     seed: int = DEFAULT_SEED,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """X6: rate-limiting withdrawals under MRAI (WRATE) vs not.
 
@@ -227,7 +233,7 @@ def mrai_withdrawal_experiment(
             mesh100_config(seed=seed),
             mrai=MraiConfig(base=30.0, apply_to_withdrawals=apply_to_withdrawals),
         )
-        series = run_sweep(label, config, pulse_counts)
+        series = run_sweep(label, config, pulse_counts, jobs=jobs)
         data[label] = series
         for point in series.points:
             rows.append(
@@ -336,6 +342,7 @@ def distance_profile_experiment(
 def heterogeneous_params_experiment(
     pulse_counts: Sequence[int] = (1, 3, 5),
     seed: int = DEFAULT_SEED,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """X9: inconsistent damping parameters across routers.
 
@@ -360,7 +367,7 @@ def heterogeneous_params_experiment(
         config = dataclasses.replace(
             mesh100_config(rcn=rcn, seed=seed), damping_overrides=override_map
         )
-        series = run_sweep(label, config, pulse_counts)
+        series = run_sweep(label, config, pulse_counts, jobs=jobs)
         data[label] = series
         for point in series.points:
             rows.append(
@@ -396,6 +403,7 @@ def heterogeneous_params_experiment(
 def isp_placement_experiment(
     pulse_counts: Sequence[int] = (1, 3, 5),
     seed: int = DEFAULT_SEED,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """X10: where the unstable customer attaches matters.
 
@@ -417,7 +425,7 @@ def isp_placement_experiment(
     for label, isp in (("hub", hub), ("stub", stub)):
         config = dataclasses.replace(internet100_config(seed=seed), isp=isp)
         series = run_sweep(f"{label} ({isp}, deg {base.topology.degree(isp)})",
-                           config, pulse_counts)
+                           config, pulse_counts, jobs=jobs)
         data[label] = series
         for point in series.points:
             rows.append(
@@ -446,16 +454,17 @@ def isp_placement_experiment(
 def selective_damping_experiment(
     pulse_counts: Sequence[int] = ABLATION_PULSES,
     seed: int = DEFAULT_SEED,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """X4: selective damping (Mao et al.) vs plain damping vs RCN."""
     rows: List[List[object]] = []
     data: Dict[str, SweepSeries] = {}
     series_by_label = {
-        "plain": run_sweep("plain", mesh100_config(seed=seed), pulse_counts),
+        "plain": run_sweep("plain", mesh100_config(seed=seed), pulse_counts, jobs=jobs),
         "selective": run_sweep(
-            "selective", mesh100_config(selective=True, seed=seed), pulse_counts
+            "selective", mesh100_config(selective=True, seed=seed), pulse_counts, jobs=jobs
         ),
-        "rcn": run_sweep("rcn", mesh100_config(rcn=True, seed=seed), pulse_counts),
+        "rcn": run_sweep("rcn", mesh100_config(rcn=True, seed=seed), pulse_counts, jobs=jobs),
     }
     data.update(series_by_label)
     for n in pulse_counts:

@@ -8,6 +8,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.params import CISCO_DEFAULTS, DampingParams
 from repro.errors import ExperimentError
+from repro.experiments.parallel import execute_sweep
 from repro.metrics.report import render_table
 from repro.topology.internet import internet_topology
 from repro.topology.mesh import mesh_topology
@@ -119,6 +120,10 @@ class SweepPoint:
     peak_damped_links: int
     secondary_charges: int
     warmup_convergence: float
+    #: SHA-256 digest of the episode's observable event stream (see
+    #: :mod:`repro.metrics.digest`); the determinism oracle the parallel
+    #: executor is held to.
+    digest: Optional[str] = None
 
 
 @dataclass
@@ -164,6 +169,23 @@ def invariant_checking_enabled() -> bool:
     return _CHECK_INVARIANTS
 
 
+#: Worker-process count used by :func:`run_sweep` when the caller does
+#: not pass ``jobs`` explicitly (1 = sequential, 0 = one per CPU).
+#: Toggled by the CLI's ``--jobs`` flag; a module-level switch for the
+#: same reason as ``_CHECK_INVARIANTS``.
+_DEFAULT_JOBS = 1
+
+
+def set_default_jobs(jobs: int) -> None:
+    """Set the sweep worker count used when ``jobs`` is not given."""
+    global _DEFAULT_JOBS
+    _DEFAULT_JOBS = jobs
+
+
+def default_jobs() -> int:
+    return _DEFAULT_JOBS
+
+
 def run_point(config: ScenarioConfig, pulses: int, flap_interval: float = 60.0) -> FlapRunResult:
     """Build a fresh scenario and run one episode.
 
@@ -188,20 +210,39 @@ def run_sweep(
     config: ScenarioConfig,
     pulse_counts: Sequence[int],
     flap_interval: float = 60.0,
+    jobs: Optional[int] = None,
+    use_snapshots: bool = True,
 ) -> SweepSeries:
-    """Run one episode per pulse count with a fresh scenario each time."""
+    """Run one episode per pulse count.
+
+    Episodes are independent: the sweep warms the config up once,
+    snapshots the converged state, and restores it per point (see
+    :class:`repro.workload.scenarios.WarmStateSnapshot`); with
+    ``jobs != 1`` points run in a spawn-context process pool (see
+    :mod:`repro.experiments.parallel`). Both optimisations are
+    digest-identical to the historical fresh-scenario-per-point loop.
+    ``jobs=None`` defers to :func:`default_jobs`.
+    """
+    outcomes = execute_sweep(
+        config,
+        list(pulse_counts),
+        flap_interval=flap_interval,
+        jobs=_DEFAULT_JOBS if jobs is None else jobs,
+        use_snapshots=use_snapshots,
+        check_invariants=_CHECK_INVARIANTS,
+    )
     series = SweepSeries(label=label)
-    for pulses in pulse_counts:
-        result = run_point(config, pulses, flap_interval)
+    for outcome in outcomes:
         series.points.append(
             SweepPoint(
-                pulses=pulses,
-                convergence_time=result.convergence_time,
-                message_count=result.message_count,
-                suppressions=result.summary.total_suppressions,
-                peak_damped_links=result.summary.peak_damped_links,
-                secondary_charges=result.summary.secondary_charges,
-                warmup_convergence=result.warmup_convergence,
+                pulses=outcome.pulses,
+                convergence_time=outcome.convergence_time,
+                message_count=outcome.message_count,
+                suppressions=outcome.suppressions,
+                peak_damped_links=outcome.peak_damped_links,
+                secondary_charges=outcome.secondary_charges,
+                warmup_convergence=outcome.warmup_convergence,
+                digest=outcome.digest,
             )
         )
     return series

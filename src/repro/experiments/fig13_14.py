@@ -33,17 +33,19 @@ def run_fig13_14_sweeps(
     seed: int = DEFAULT_SEED,
     include_internet: bool = True,
     base_sweeps: Optional[Dict[str, SweepSeries]] = None,
+    jobs: Optional[int] = None,
 ) -> Dict[str, SweepSeries]:
     """Figure 8/9's series plus the 'Damping and RCN' series."""
     counts = list(pulse_counts) if pulse_counts is not None else default_pulse_counts()
     sweeps = dict(base_sweeps) if base_sweeps is not None else run_fig8_9_sweeps(
-        counts, flap_interval, seed=seed, include_internet=include_internet
+        counts, flap_interval, seed=seed, include_internet=include_internet, jobs=jobs
     )
     sweeps["damping_rcn"] = run_sweep(
         "Damping and RCN",
         mesh100_config(rcn=True, seed=seed),
         counts,
         flap_interval,
+        jobs=jobs,
     )
     return sweeps
 

@@ -29,6 +29,7 @@ def run_fig15_sweeps(
     pulse_counts: Optional[Sequence[int]] = None,
     flap_interval: float = 60.0,
     seed: int = DEFAULT_SEED,
+    jobs: Optional[int] = None,
 ) -> Dict[str, SweepSeries]:
     counts = list(pulse_counts) if pulse_counts is not None else default_pulse_counts()
     return {
@@ -37,12 +38,14 @@ def run_fig15_sweeps(
             internet208_config(use_no_valley=True, seed=seed),
             counts,
             flap_interval,
+            jobs=jobs,
         ),
         "no_policy": run_sweep(
             "No policy (shortest path)",
             internet208_config(use_no_valley=False, seed=seed),
             counts,
             flap_interval,
+            jobs=jobs,
         ),
     }
 

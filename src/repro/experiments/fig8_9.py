@@ -37,6 +37,7 @@ def run_fig8_9_sweeps(
     flap_interval: float = 60.0,
     seed: int = DEFAULT_SEED,
     include_internet: bool = True,
+    jobs: Optional[int] = None,
 ) -> Dict[str, SweepSeries]:
     """Run the three simulated series; the calculation series is free."""
     counts = list(pulse_counts) if pulse_counts is not None else default_pulse_counts()
@@ -46,12 +47,14 @@ def run_fig8_9_sweeps(
         mesh100_config(damping=None, seed=seed),
         counts,
         flap_interval,
+        jobs=jobs,
     )
     sweeps["full_damping_mesh"] = run_sweep(
         "Full Damping (simulation, mesh)",
         mesh100_config(seed=seed),
         counts,
         flap_interval,
+        jobs=jobs,
     )
     if include_internet:
         sweeps["full_damping_internet"] = run_sweep(
@@ -59,6 +62,7 @@ def run_fig8_9_sweeps(
             internet100_config(seed=seed),
             counts,
             flap_interval,
+            jobs=jobs,
         )
     return sweeps
 

@@ -1,0 +1,220 @@
+"""Deterministic process-pool sweep executor.
+
+Every figure and ablation is a sweep of *independent* episodes: each
+(config, pulse count) point builds its own scenario from its own seed, so
+points can run in any process, in any order, without sharing state. This
+module is the one place such fan-out is allowed (detlint rule DET010
+flags ``multiprocessing``/``concurrent.futures`` anywhere else), and it
+provides a hard guarantee: results are **digest-identical** to the
+sequential path, whatever ``jobs`` is.
+
+The guarantee holds by construction:
+
+* Each point's scenario derives every random draw from the point's own
+  :class:`~repro.sim.rng.RngRegistry` master seed — nothing is drawn
+  from shared or process-global randomness.
+* Workers receive a :class:`~repro.workload.scenarios.WarmStateSnapshot`
+  (or the bare config) through the pool initializer and materialise an
+  independent scenario per point; snapshot restoration preserves RNG
+  stream states, the engine clock/sequence counter, and all protocol
+  state exactly.
+* The pool uses the ``spawn`` start method, so workers import a fresh
+  interpreter instead of inheriting forked state, and results are
+  collected in submission order regardless of completion order.
+
+Episode outcomes cross the process boundary as compact picklable
+:class:`PointOutcome` records (metrics plus the run digest), never as
+full result objects with their collectors and traces.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.metrics.digest import run_digest
+from repro.sim.rng import RngRegistry
+from repro.workload.pulses import PulseSchedule
+from repro.workload.scenarios import Scenario, ScenarioConfig, WarmStateSnapshot
+
+#: What a worker (or the in-process fallback) builds scenarios from: a
+#: warm-state snapshot when warm-up is shared, else the bare config.
+SweepSource = Union[WarmStateSnapshot, ScenarioConfig]
+
+
+@dataclass(frozen=True)
+class PointOutcome:
+    """One sweep point's metrics, compact and picklable.
+
+    Mirrors :class:`repro.experiments.base.SweepPoint` plus the run
+    digest, which is what the determinism tests compare byte-for-byte
+    between sequential and parallel execution.
+    """
+
+    pulses: int
+    convergence_time: float
+    message_count: int
+    suppressions: int
+    peak_damped_links: int
+    secondary_charges: int
+    warmup_convergence: float
+    digest: str
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalise a ``--jobs`` value: ``None``/``1`` = sequential,
+    ``0`` = one worker per CPU, ``N`` = that many workers."""
+    if jobs is None:
+        return 1
+    if jobs < 0:
+        raise ConfigurationError(f"jobs must be >= 0, got {jobs}")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def derive_seed(master_seed: int, label: str) -> int:
+    """Stable per-point (or per-replicate) seed derived through
+    :meth:`RngRegistry.fork`, so multi-seed sweeps stay reproducible
+    without seed arithmetic scattered across experiments."""
+    return RngRegistry(master_seed).fork(label).master_seed
+
+
+def run_point_outcome(
+    scenario: Scenario,
+    pulses: int,
+    flap_interval: float = 60.0,
+    check_invariants: bool = False,
+) -> PointOutcome:
+    """Run one regular-pulse episode on a warmed scenario and reduce it
+    to a :class:`PointOutcome`."""
+    result = scenario.run(PulseSchedule.regular(pulses, flap_interval))
+    if check_invariants:
+        # Imported lazily: analysis.invariants imports workload.scenarios,
+        # which sits below this module in the layering.
+        from repro.analysis.invariants import check_converged_invariants
+
+        check_converged_invariants(scenario).raise_on_violation()
+    summary = result.summary
+    return PointOutcome(
+        pulses=pulses,
+        convergence_time=result.convergence_time,
+        message_count=result.message_count,
+        suppressions=summary.total_suppressions,
+        peak_damped_links=summary.peak_damped_links,
+        secondary_charges=summary.secondary_charges,
+        warmup_convergence=result.warmup_convergence,
+        digest=run_digest(result.collector),
+    )
+
+
+def _materialise(source: SweepSource) -> Scenario:
+    """An independent warmed-up scenario from a snapshot or bare config."""
+    if isinstance(source, WarmStateSnapshot):
+        return source.restore()
+    scenario = Scenario(source)
+    scenario.warm_up()
+    return scenario
+
+
+def _sweep_source(
+    config: ScenarioConfig, point_count: int, use_snapshots: bool
+) -> SweepSource:
+    """Warm up once and snapshot when more than one point will reuse it;
+    a single point is cheaper to warm directly."""
+    if use_snapshots and point_count > 1:
+        return WarmStateSnapshot.capture(config)
+    return config
+
+
+# ----------------------------------------------------------------------
+# worker-process side
+# ----------------------------------------------------------------------
+
+#: Installed once per worker by the pool initializer; spawn-context
+#: workers do not inherit parent module state, so everything a point
+#: needs is shipped explicitly.
+_WORKER_STATE: Optional[Tuple[SweepSource, float, bool]] = None
+
+
+def _init_worker(
+    source: SweepSource, flap_interval: float, check_invariants: bool
+) -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = (source, flap_interval, check_invariants)
+
+
+def _worker_run_point(pulses: int) -> PointOutcome:
+    if _WORKER_STATE is None:  # pragma: no cover - pool misuse guard
+        raise SimulationError("sweep worker used before initialisation")
+    source, flap_interval, check_invariants = _WORKER_STATE
+    return run_point_outcome(
+        _materialise(source),
+        pulses,
+        flap_interval=flap_interval,
+        check_invariants=check_invariants,
+    )
+
+
+# ----------------------------------------------------------------------
+# executor
+# ----------------------------------------------------------------------
+
+
+def execute_sweep(
+    config: ScenarioConfig,
+    pulse_counts: Sequence[int],
+    flap_interval: float = 60.0,
+    jobs: Optional[int] = 1,
+    use_snapshots: bool = True,
+    check_invariants: bool = False,
+    mp_start_method: str = "spawn",
+) -> List[PointOutcome]:
+    """Run one episode per pulse count, optionally across processes.
+
+    ``jobs`` follows the CLI convention (``1`` sequential in-process,
+    ``0`` one worker per CPU, ``N`` workers otherwise). Outcomes are
+    returned in ``pulse_counts`` order and are digest-identical whatever
+    ``jobs`` resolves to.
+    """
+    counts = [int(p) for p in pulse_counts]
+    worker_count = resolve_jobs(jobs)
+    if not counts:
+        return []
+
+    source = _sweep_source(config, len(counts), use_snapshots)
+    if worker_count == 1 or len(counts) == 1:
+        return [
+            run_point_outcome(
+                _materialise(source),
+                pulses,
+                flap_interval=flap_interval,
+                check_invariants=check_invariants,
+            )
+            for pulses in counts
+        ]
+
+    context = multiprocessing.get_context(mp_start_method)
+    with ProcessPoolExecutor(
+        max_workers=min(worker_count, len(counts)),
+        mp_context=context,
+        initializer=_init_worker,
+        initargs=(source, flap_interval, check_invariants),
+    ) as pool:
+        # map() yields results in submission order, so the sweep's output
+        # ordering is independent of worker completion order.
+        return list(pool.map(_worker_run_point, counts))
+
+
+__all__ = [
+    "PointOutcome",
+    "SweepSource",
+    "derive_seed",
+    "execute_sweep",
+    "resolve_jobs",
+    "run_point_outcome",
+]

@@ -33,6 +33,10 @@ DEFAULT_PARAMS_MODULES: Tuple[str, ...] = ("repro.core.params",)
 #: The module allowed to flip suppression state directly (SEM007).
 DEFAULT_DAMPING_MODULES: Tuple[str, ...] = ("repro.core.damping",)
 
+#: The one module allowed to spawn worker processes (DET010): the
+#: deterministic sweep executor.
+DEFAULT_EXECUTOR_MODULES: Tuple[str, ...] = ("repro.experiments.parallel",)
+
 #: Analysis passes by rule-id prefix; ``--pass all`` selects both.
 KNOWN_PASSES: FrozenSet[str] = frozenset({"det", "sem"})
 
@@ -72,6 +76,9 @@ class LintConfig:
         Modules that define the damping constants (SEM003-exempt).
     damping_modules:
         Modules allowed to mutate suppression state directly (SEM007).
+    executor_modules:
+        Modules allowed to use ``multiprocessing``/``concurrent.futures``
+        (DET010) — the deterministic sweep executor.
     """
 
     select: FrozenSet[str] = frozenset()
@@ -83,6 +90,7 @@ class LintConfig:
     penalty_modules: Tuple[str, ...] = DEFAULT_PENALTY_MODULES
     params_modules: Tuple[str, ...] = DEFAULT_PARAMS_MODULES
     damping_modules: Tuple[str, ...] = DEFAULT_DAMPING_MODULES
+    executor_modules: Tuple[str, ...] = DEFAULT_EXECUTOR_MODULES
 
     def validate(self, known_rule_ids: FrozenSet[str]) -> None:
         """Reject rule ids or pass names nothing provides."""
@@ -123,6 +131,9 @@ class LintConfig:
 
     def is_damping_module(self, module: Optional[str]) -> bool:
         return _module_in(module, self.damping_modules)
+
+    def is_executor_module(self, module: Optional[str]) -> bool:
+        return _module_in(module, self.executor_modules)
 
 
 def make_config(

@@ -19,6 +19,7 @@ DET006    re-entrant ``Engine.run`` from an event callback (closure)
 DET007    environment/filesystem access inside protected packages
 DET008    mutable default arguments in public simulator APIs
 DET009    unsorted filesystem iteration (``os.listdir``, ``glob``, ...)
+DET010    process fan-out outside the deterministic sweep executor
 ========  ==========================================================
 """
 
@@ -564,6 +565,68 @@ class UnsortedFsIterationRule(Rule):
                 continue
             return False
         return False
+
+
+# ----------------------------------------------------------------------
+# DET010 — process fan-out outside the sweep executor
+# ----------------------------------------------------------------------
+
+#: Top-level packages whose import anywhere outside the executor module
+#: signals ad-hoc process fan-out.
+_PARALLELISM_PACKAGES = frozenset({"multiprocessing", "concurrent"})
+#: Process-creating calls caught even without an offending import
+#: (``os`` is imported for many legitimate reasons).
+_PROCESS_SPAWN_CALLS = frozenset({"os.fork", "os.forkpty"})
+
+
+@register
+class AdHocParallelismRule(Rule):
+    """All process fan-out must go through the deterministic executor."""
+
+    id = "DET010"
+    title = "process fan-out outside the sweep executor"
+    rationale = (
+        "Worker pools built outside repro.experiments.parallel bypass "
+        "the spawn-safe, seed-derived, order-preserving executor that "
+        "guarantees parallel sweeps stay digest-identical to sequential "
+        "ones; forked workers inherit RNG streams and module caches, and "
+        "ad-hoc result collection depends on completion order."
+    )
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        if context.config.is_executor_module(context.module):
+            return
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    package = alias.name.split(".")[0]
+                    if package in _PARALLELISM_PACKAGES:
+                        yield context.finding(
+                            self,
+                            node,
+                            f"import of {alias.name} outside the sweep "
+                            "executor — route fan-out through "
+                            "repro.experiments.parallel",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                package = (node.module or "").split(".")[0]
+                if node.level == 0 and package in _PARALLELISM_PACKAGES:
+                    yield context.finding(
+                        self,
+                        node,
+                        f"import from {node.module} outside the sweep "
+                        "executor — route fan-out through "
+                        "repro.experiments.parallel",
+                    )
+        for call in iter_calls(context):
+            qualified = context.qualified_name(call.func)
+            if qualified in _PROCESS_SPAWN_CALLS:
+                yield context.finding(
+                    self,
+                    call,
+                    f"{qualified}() outside the sweep executor — route "
+                    "fan-out through repro.experiments.parallel",
+                )
 
 
 # ----------------------------------------------------------------------

@@ -6,12 +6,19 @@ order and invokes them. Because ties are broken by the monotonically
 increasing sequence number, two events scheduled for the same instant fire
 in the order they were scheduled, which makes whole simulations
 deterministic for a fixed seed.
+
+Heap entries are plain ``(time, seq, event)`` tuples so the heap compares
+at C speed without calling back into Python ``__lt__``; the
+:class:`ScheduledEvent` object itself is a ``__slots__`` handle used for
+cancellation and the schedule-race labels. Cancellation is lazy, but the
+engine tracks the cancelled population and compacts the heap in place
+whenever cancelled entries outnumber live ones, so timer churn (MRAI
+re-arms, reuse-timer reschedules) cannot bloat the queue without bound.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import SimulationError
@@ -19,29 +26,94 @@ from repro.sim.events import ScheduleTie
 
 TieObserver = Callable[[ScheduleTie], None]
 
+#: Heap entry layout: ties in ``time`` break on ``seq``, and the event
+#: handle never participates in comparisons.
+_HeapEntry = Tuple[float, int, "ScheduledEvent"]
 
-@dataclass(order=True)
+#: Queues smaller than this are never compacted — rebuilding a tiny heap
+#: costs more than skipping its cancelled entries at pop time.
+_COMPACT_MIN_SIZE = 64
+
+_EventState = Tuple[
+    float, int, Callable[[], None], bool, Optional[str], Optional[str], Optional["Engine"]
+]
+
+
 class ScheduledEvent:
     """A callback registered to fire at a simulated instant.
 
-    Instances are ordered by ``(time, seq)`` so they can live directly in a
-    heap. ``cancelled`` supports lazy cancellation: cancelled entries stay
-    in the heap and are skipped when popped. ``actor`` and ``tag`` are
-    optional labels (the router a callback touches and the scheduling
-    site's kind) consumed by the schedule-race detector; they never affect
-    ordering.
+    The engine stores events inside ``(time, seq)``-keyed heap tuples, so
+    instances only need to carry state, not ordering. ``cancelled``
+    supports lazy cancellation: cancelled entries stay in the heap and are
+    skipped when popped (the engine compacts when they pile up). ``actor``
+    and ``tag`` are optional labels (the router a callback touches and the
+    scheduling site's kind) consumed by the schedule-race detector; they
+    never affect ordering.
     """
 
-    time: float
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    actor: Optional[str] = field(default=None, compare=False)
-    tag: Optional[str] = field(default=None, compare=False)
+    __slots__ = ("time", "seq", "callback", "cancelled", "actor", "tag", "_engine")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[[], None],
+        cancelled: bool = False,
+        actor: Optional[str] = None,
+        tag: Optional[str] = None,
+        engine: Optional["Engine"] = None,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = cancelled
+        self.actor = actor
+        self.tag = tag
+        #: Back-reference used to report cancellations while the event is
+        #: still queued; the engine clears it when the entry leaves the heap.
+        self._engine = engine
 
     def cancel(self) -> None:
         """Mark the event so the engine discards it instead of firing it."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        engine = self._engine
+        if engine is not None:
+            self._engine = None
+            engine._note_cancelled()
+
+    def __getstate__(self) -> _EventState:
+        return (
+            self.time,
+            self.seq,
+            self.callback,
+            self.cancelled,
+            self.actor,
+            self.tag,
+            self._engine,
+        )
+
+    def __setstate__(self, state: _EventState) -> None:
+        (
+            self.time,
+            self.seq,
+            self.callback,
+            self.cancelled,
+            self.actor,
+            self.tag,
+            self._engine,
+        ) = state
+
+    def __lt__(self, other: "ScheduledEvent") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return (
+            f"ScheduledEvent(time={self.time:.6f}, seq={self.seq}, "
+            f"{state}, actor={self.actor!r}, tag={self.tag!r})"
+        )
 
 
 class Engine:
@@ -69,12 +141,20 @@ class Engine:
     with the same ``actor`` fire at the same instant, and forwards it to
     any registered observers (the metrics collector hooks in here).
     Detection is passive: it never reorders, delays, or drops events.
+    When detection is off, the run loops skip tie bookkeeping entirely —
+    the hot path is pop, advance clock, fire.
+
+    **Heap compaction.** Cancelled events are dropped lazily, but the
+    engine counts them and rebuilds the heap in place once they exceed
+    half the queue (above :data:`_COMPACT_MIN_SIZE` entries), so heavy
+    timer churn keeps memory proportional to the *live* event count.
     """
 
     def __init__(self, start_time: float = 0.0, detect_ties: bool = False) -> None:
         self._now = float(start_time)
-        self._queue: List[ScheduledEvent] = []
+        self._queue: List[_HeapEntry] = []
         self._seq = 0
+        self._cancelled = 0
         self._running = False
         self._events_executed = 0
         self._detect_ties = bool(detect_ties)
@@ -96,7 +176,13 @@ class Engine:
     @property
     def pending_count(self) -> int:
         """Number of live (non-cancelled) events still in the queue."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        return len(self._queue) - self._cancelled
+
+    @property
+    def queue_size(self) -> int:
+        """Total heap entries, including lazily-cancelled ones (the
+        compaction threshold keeps this within 2x the live count)."""
+        return len(self._queue)
 
     def schedule_at(
         self,
@@ -122,11 +208,11 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule event at {time:.6f}, clock is already at {self._now:.6f}"
             )
-        event = ScheduledEvent(
-            time=float(time), seq=self._seq, callback=callback, actor=actor, tag=tag
-        )
-        self._seq += 1
-        heapq.heappush(self._queue, event)
+        time = float(time)
+        seq = self._seq
+        self._seq = seq + 1
+        event = ScheduledEvent(time, seq, callback, actor=actor, tag=tag, engine=self)
+        heapq.heappush(self._queue, (time, seq, event))
         return event
 
     def schedule(
@@ -146,11 +232,43 @@ class Engine:
         self._drop_cancelled_head()
         if not self._queue:
             return None
-        return self._queue[0].time
+        return self._queue[0][0]
 
     def _drop_cancelled_head(self) -> None:
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
+        queue = self._queue
+        while queue and queue[0][2].cancelled:
+            heapq.heappop(queue)
+            self._cancelled -= 1
+
+    # ------------------------------------------------------------------
+    # cancellation bookkeeping / heap compaction
+    # ------------------------------------------------------------------
+
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`ScheduledEvent.cancel` while the event is still
+        queued; compacts once cancelled entries outnumber live ones."""
+        self._cancelled += 1
+        queue_len = len(self._queue)
+        if queue_len >= _COMPACT_MIN_SIZE and self._cancelled * 2 > queue_len:
+            self.purge_cancelled()
+
+    def purge_cancelled(self) -> int:
+        """Drop every cancelled entry from the heap and re-heapify.
+
+        The rebuild mutates the queue list in place, so run loops holding
+        a local reference observe the compaction. Returns the number of
+        entries removed. Called automatically past the compaction
+        threshold; callable explicitly before snapshotting an engine.
+        """
+        if self._cancelled == 0:
+            return 0
+        queue = self._queue
+        live = [entry for entry in queue if not entry[2].cancelled]
+        removed = len(queue) - len(live)
+        queue[:] = live
+        heapq.heapify(queue)
+        self._cancelled = 0
+        return removed
 
     # ------------------------------------------------------------------
     # schedule-race detection
@@ -206,8 +324,10 @@ class Engine:
             observer(tie)
 
     def _execute(self, event: ScheduledEvent) -> None:
-        """Advance the clock to ``event`` and fire it (the single place
-        events execute, so detection instruments every run mode)."""
+        """Advance the clock to ``event`` and fire it (shared by
+        :meth:`step` and the instrumented run loops, so detection sees
+        every event when it is enabled)."""
+        event._engine = None
         self._now = event.time
         self._events_executed += 1
         if self._detect_ties:
@@ -223,7 +343,7 @@ class Engine:
         self._drop_cancelled_head()
         if not self._queue:
             return False
-        self._execute(heapq.heappop(self._queue))
+        self._execute(heapq.heappop(self._queue)[2])
         return True
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
@@ -247,16 +367,30 @@ class Engine:
             raise SimulationError("engine.run() is not reentrant")
         self._running = True
         executed = 0
+        queue = self._queue
+        heappop = heapq.heappop
         try:
             while True:
                 if max_events is not None and executed >= max_events:
                     break
-                self._drop_cancelled_head()
-                if not self._queue:
+                while queue and queue[0][2].cancelled:
+                    heappop(queue)
+                    self._cancelled -= 1
+                if not queue:
                     break
-                if until is not None and self._queue[0].time > until:
+                entry = queue[0]
+                if until is not None and entry[0] > until:
                     break
-                self._execute(heapq.heappop(self._queue))
+                heappop(queue)
+                event = entry[2]
+                if self._detect_ties:
+                    self._execute(event)
+                else:
+                    # Hot path: no tie bookkeeping, no extra call.
+                    event._engine = None
+                    self._now = entry[0]
+                    self._events_executed += 1
+                    event.callback()
                 executed += 1
         finally:
             self._running = False
@@ -278,14 +412,28 @@ class Engine:
             raise SimulationError("engine.run_until_idle() is not reentrant")
         self._running = True
         executed = 0
+        queue = self._queue
+        heappop = heapq.heappop
         try:
             while executed < max_events:
-                self._drop_cancelled_head()
-                if not self._queue:
+                while queue and queue[0][2].cancelled:
+                    heappop(queue)
+                    self._cancelled -= 1
+                if not queue:
                     break
-                if self._queue[0].time > max_time:
+                entry = queue[0]
+                if entry[0] > max_time:
                     break
-                self._execute(heapq.heappop(self._queue))
+                heappop(queue)
+                event = entry[2]
+                if self._detect_ties:
+                    self._execute(event)
+                else:
+                    # Hot path: no tie bookkeeping, no extra call.
+                    event._engine = None
+                    self._now = entry[0]
+                    self._events_executed += 1
+                    event.callback()
                 executed += 1
         finally:
             self._running = False
@@ -298,7 +446,10 @@ class Engine:
 
     def clear(self) -> None:
         """Drop all pending events (used between experiment repetitions)."""
+        for entry in self._queue:
+            entry[2]._engine = None
         self._queue.clear()
+        self._cancelled = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -3,6 +3,19 @@
 methodology."""
 
 from repro.workload.pulses import PulseSchedule
-from repro.workload.scenarios import FlapRunResult, Scenario, ScenarioConfig
+from repro.workload.scenarios import (
+    FlapRunResult,
+    Scenario,
+    ScenarioConfig,
+    WarmStateCache,
+    WarmStateSnapshot,
+)
 
-__all__ = ["FlapRunResult", "PulseSchedule", "Scenario", "ScenarioConfig"]
+__all__ = [
+    "FlapRunResult",
+    "PulseSchedule",
+    "Scenario",
+    "ScenarioConfig",
+    "WarmStateCache",
+    "WarmStateSnapshot",
+]

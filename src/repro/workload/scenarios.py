@@ -13,12 +13,22 @@ A :class:`Scenario` packages the paper's methodology:
    drive a :class:`~repro.workload.pulses.PulseSchedule` through the
    origin, and run the event queue dry. Convergence time and message
    count are measured exactly as the paper defines them.
+
+Because step 2 is identical for every point of a sweep (the pulse
+schedule only enters at step 3), a warmed-up scenario can be captured
+once as a :class:`WarmStateSnapshot` — a pickle of the converged network,
+damping, RIB, and RNG state — and restored per point instead of
+re-running warm-up. Restoration is provably digest-identical to a fresh
+warm-up: the pickle preserves every ``random.Random`` stream state, the
+engine's clock and sequence counter, and all protocol state exactly.
 """
 
 from __future__ import annotations
 
+import pickle
+from collections import OrderedDict
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, Hashable, List, Mapping, Optional, Tuple
 
 from repro.bgp.mrai import MraiConfig
 from repro.bgp.origin import OriginRouter
@@ -402,3 +412,143 @@ def run_episode(config: ScenarioConfig, pulses: int, flap_interval: float = 60.0
     scenario = Scenario(config)
     scenario.warm_up()
     return scenario.run(PulseSchedule.regular(pulses, flap_interval))
+
+
+# ----------------------------------------------------------------------
+# warm-state snapshots
+# ----------------------------------------------------------------------
+
+
+class WarmStateSnapshot:
+    """A warmed-up :class:`Scenario` frozen as bytes.
+
+    The snapshot is taken after :meth:`Scenario.warm_up` and before
+    :meth:`Scenario.run` — the one point in a scenario's life where no
+    metrics hooks, trace closures, or suppression observers are attached,
+    so the whole object graph (engine, network, routers, damping
+    managers, RNG streams) pickles cleanly. Each :meth:`restore` yields
+    an independent scenario whose episode is **digest-identical** to one
+    run on a freshly warmed scenario: pickling preserves the
+    ``random.Random`` stream states, the engine's clock and sequence
+    counter, and every RIB/penalty entry exactly, and restored copies
+    share no mutable state with each other.
+
+    Snapshots are plain picklable values themselves, so they can be
+    shipped to spawn-context worker processes (see
+    :mod:`repro.experiments.parallel`).
+    """
+
+    __slots__ = ("config", "blob", "warmup_convergence")
+
+    def __init__(
+        self, config: ScenarioConfig, blob: bytes, warmup_convergence: float
+    ) -> None:
+        self.config = config
+        self.blob = blob
+        self.warmup_convergence = warmup_convergence
+
+    def __getstate__(self) -> Tuple[ScenarioConfig, bytes, float]:
+        return (self.config, self.blob, self.warmup_convergence)
+
+    def __setstate__(self, state: Tuple[ScenarioConfig, bytes, float]) -> None:
+        self.config, self.blob, self.warmup_convergence = state
+
+    @property
+    def size_bytes(self) -> int:
+        """Size of the pickled scenario state."""
+        return len(self.blob)
+
+    @classmethod
+    def capture(cls, config: ScenarioConfig) -> "WarmStateSnapshot":
+        """Build a scenario, warm it up, and freeze the converged state."""
+        scenario = Scenario(config)
+        scenario.warm_up()
+        return cls.from_scenario(scenario)
+
+    @classmethod
+    def from_scenario(cls, scenario: Scenario) -> "WarmStateSnapshot":
+        """Freeze an already-warmed scenario (which stays usable)."""
+        if not scenario._warmed_up:
+            raise SimulationError("snapshot requires a warmed-up scenario")
+        if scenario._ran:
+            raise SimulationError(
+                "cannot snapshot a scenario that already ran its episode"
+            )
+        # Cancelled stragglers would pickle (and restore) dead weight.
+        scenario.engine.purge_cancelled()
+        blob = pickle.dumps(scenario, protocol=pickle.HIGHEST_PROTOCOL)
+        return cls(scenario.config, blob, scenario.warmup_convergence)
+
+    def restore(self) -> Scenario:
+        """Materialise an independent warmed-up scenario, ready to run."""
+        scenario: Scenario = pickle.loads(self.blob)
+        return scenario
+
+
+class WarmStateCache:
+    """LRU cache of :class:`WarmStateSnapshot`, one per scenario config.
+
+    Sweeps warm up each distinct :class:`ScenarioConfig` once and restore
+    per point. Entries hold a strong reference to their config, keeping
+    the topology object (part of the cache key by identity) alive for as
+    long as the entry exists.
+    """
+
+    def __init__(self, max_entries: int = 8) -> None:
+        if max_entries < 1:
+            raise ConfigurationError(
+                f"max_entries must be >= 1, got {max_entries}"
+            )
+        self._max_entries = max_entries
+        self._entries: "OrderedDict[Hashable, WarmStateSnapshot]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, config: ScenarioConfig) -> WarmStateSnapshot:
+        """Return the snapshot for ``config``, capturing it on first use."""
+        key = _config_cache_key(config)
+        snapshot = self._entries.get(key)
+        if snapshot is None:
+            snapshot = WarmStateSnapshot.capture(config)
+            self._entries[key] = snapshot
+            if len(self._entries) > self._max_entries:
+                self._entries.popitem(last=False)
+        else:
+            self._entries.move_to_end(key)
+        return snapshot
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+def _config_cache_key(config: ScenarioConfig) -> Hashable:
+    """Value-equality key for every field of ``ScenarioConfig``.
+
+    The topology has no value hash; its ``id`` is used instead, which is
+    stable while a cache entry pins the config (and thus the topology)
+    alive — and the experiment layer caches topologies per name anyway.
+    """
+    overrides = (
+        tuple(sorted(config.damping_overrides.items()))
+        if config.damping_overrides
+        else None
+    )
+    return (
+        id(config.topology),
+        config.topology.name,
+        config.damping,
+        config.rcn,
+        config.selective,
+        config.use_no_valley,
+        config.mrai,
+        config.link,
+        config.seed,
+        config.isp,
+        config.damping_fraction,
+        overrides,
+        config.prefix,
+        config.warmup_horizon,
+        config.run_horizon,
+        config.detect_schedule_ties,
+    )

@@ -561,15 +561,91 @@ class TestDET009:
 
 
 # ----------------------------------------------------------------------
+# DET010 — process fan-out outside the sweep executor
+# ----------------------------------------------------------------------
+
+
+class TestDET010:
+    def test_fires_on_multiprocessing_import(self):
+        ids = rule_ids_of(
+            """
+            import multiprocessing
+
+            def fan_out(items):
+                with multiprocessing.Pool() as pool:
+                    return pool.map(str, items)
+            """,
+            module="repro.experiments.fixture",
+        )
+        assert "DET010" in ids
+
+    def test_fires_on_concurrent_futures_from_import(self):
+        ids = rule_ids_of(
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def fan_out(items):
+                with ProcessPoolExecutor() as pool:
+                    return list(pool.map(str, items))
+            """,
+            module="repro.experiments.fixture",
+        )
+        assert "DET010" in ids
+
+    def test_fires_on_os_fork(self):
+        ids = rule_ids_of(
+            """
+            import os
+
+            def split():
+                return os.fork()
+            """,
+            module="repro.experiments.fixture",
+        )
+        assert "DET010" in ids
+
+    def test_silent_in_executor_module(self):
+        assert "DET010" not in rule_ids_of(
+            """
+            import multiprocessing
+            from concurrent.futures import ProcessPoolExecutor
+            """,
+            module="repro.experiments.parallel",
+        )
+
+    def test_suppression_comment_works(self):
+        assert "DET010" not in rule_ids_of(
+            """
+            import multiprocessing  # detlint: disable=DET010
+            """,
+            module="repro.experiments.fixture",
+        )
+
+    def test_silent_on_unrelated_imports_and_os_use(self):
+        assert "DET010" not in rule_ids_of(
+            """
+            import os
+            from concurrentutils import helpers
+
+            def cpu_count():
+                return os.cpu_count()
+            """,
+            module="repro.experiments.fixture",
+        )
+
+
+# ----------------------------------------------------------------------
 # framework behaviour
 # ----------------------------------------------------------------------
 
 
 class TestFramework:
     def test_catalogue_is_complete(self):
-        expected = {f"DET00{i}" for i in range(1, 10)} | {
-            f"SEM00{i}" for i in range(1, 8)
-        }
+        expected = (
+            {f"DET00{i}" for i in range(1, 10)}
+            | {"DET010"}
+            | {f"SEM00{i}" for i in range(1, 8)}
+        )
         assert set(RULE_IDS) == expected
         assert all_rule_ids() == frozenset(expected)
 

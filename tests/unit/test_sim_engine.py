@@ -335,3 +335,85 @@ def test_timer_forwards_actor_and_tag():
     engine.run()
     assert len(engine.ties) == 1
     assert engine.ties[0].tags == ("mrai", "reuse")
+
+
+# ----------------------------------------------------------------------
+# lazy-cancellation heap compaction
+# ----------------------------------------------------------------------
+
+
+def test_cancelling_10k_mrai_style_timers_keeps_heap_bounded():
+    """Regression: cancelled entries used to stay in the heap forever, so
+    timer churn (an MRAI re-arm cancels the previous event every time)
+    grew the queue without bound. Compaction must keep the heap
+    proportional to the live event count."""
+    engine = Engine()
+    live = [engine.schedule(1_000.0, lambda: None) for _ in range(100)]
+    for i in range(10_000):
+        event = engine.schedule(30.0 + (i % 7), lambda: None, tag="mrai")
+        event.cancel()
+    assert engine.pending_count == 100
+    # Cancelled entries may linger only below the compaction threshold:
+    # at most half the queue plus the small-queue floor.
+    assert engine.queue_size <= 2 * 100 + 64
+    assert engine.run() == 100
+    assert engine.queue_size == 0
+    assert all(not e.cancelled for e in live)
+
+
+def test_pending_count_is_consistent_through_cancel_and_purge():
+    engine = Engine()
+    events = [engine.schedule(float(i + 1), lambda: None) for i in range(10)]
+    events[3].cancel()
+    events[7].cancel()
+    events[7].cancel()  # double-cancel must not double-count
+    assert engine.pending_count == 8
+    removed = engine.purge_cancelled()
+    assert removed == 2
+    assert engine.pending_count == 8
+    assert engine.queue_size == 8
+    assert engine.purge_cancelled() == 0
+
+
+def test_cancel_after_firing_does_not_corrupt_bookkeeping():
+    engine = Engine()
+    fired = engine.schedule(1.0, lambda: None)
+    pending = engine.schedule(2.0, lambda: None)
+    engine.run(until=1.5)
+    fired.cancel()  # already executed; must not affect the queue count
+    assert engine.pending_count == 1
+    engine.run()
+    assert engine.events_executed == 2
+    del pending
+
+
+def test_cancel_inside_running_callback_compacts_safely():
+    """Compaction rebuilds the queue list in place, so a cancellation
+    storm triggered from inside a callback must not confuse the run loop
+    holding a reference to the queue."""
+    engine = Engine()
+    doomed = [engine.schedule(50.0, lambda: None) for _ in range(200)]
+    survivor_fired = []
+
+    def cancel_everything() -> None:
+        for event in doomed:
+            event.cancel()
+
+    engine.schedule(1.0, cancel_everything)
+    engine.schedule(60.0, lambda: survivor_fired.append(engine.now))
+    engine.run()
+    assert survivor_fired == [60.0]
+    assert engine.pending_count == 0
+    assert engine.queue_size == 0
+
+
+def test_clear_resets_cancellation_bookkeeping():
+    engine = Engine()
+    events = [engine.schedule(float(i + 1), lambda: None) for i in range(5)]
+    events[0].cancel()
+    engine.clear()
+    assert engine.pending_count == 0
+    assert engine.queue_size == 0
+    # Cancelling a cleared event is a no-op, not a counter underflow.
+    events[1].cancel()
+    assert engine.pending_count == 0

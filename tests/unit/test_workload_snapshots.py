@@ -1,0 +1,127 @@
+"""Warm-state snapshot layer: capture/restore correctness.
+
+The load-bearing property is digest identity — an episode run on a
+restored scenario must be byte-for-byte equal (as seen by the metrics
+digest) to one run on a freshly warmed scenario. Everything else here
+guards the snapshot lifecycle: single-use scenarios, cache keying, and
+independence of restored copies.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.experiments.base import small_mesh_config
+from repro.metrics.digest import run_digest
+from repro.workload.pulses import PulseSchedule
+from repro.workload.scenarios import (
+    Scenario,
+    WarmStateCache,
+    WarmStateSnapshot,
+    _config_cache_key,
+)
+
+
+def fresh_digest(config, pulses: int) -> str:
+    scenario = Scenario(config)
+    scenario.warm_up()
+    result = scenario.run(PulseSchedule.regular(pulses, 60.0))
+    return run_digest(result.collector)
+
+
+class TestWarmStateSnapshot:
+    def test_restored_episode_is_digest_identical(self):
+        config = small_mesh_config()
+        snapshot = WarmStateSnapshot.capture(config)
+        for pulses in (0, 2):
+            restored = snapshot.restore()
+            result = restored.run(PulseSchedule.regular(pulses, 60.0))
+            assert run_digest(result.collector) == fresh_digest(config, pulses)
+
+    def test_restored_scenarios_are_independent(self):
+        snapshot = WarmStateSnapshot.capture(small_mesh_config())
+        first = snapshot.restore()
+        second = snapshot.restore()
+        result_first = first.run(PulseSchedule.regular(2, 60.0))
+        # Running the first copy must not perturb the second.
+        result_second = second.run(PulseSchedule.regular(2, 60.0))
+        assert run_digest(result_first.collector) == run_digest(result_second.collector)
+
+    def test_snapshot_preserves_warmup_convergence(self):
+        scenario = Scenario(small_mesh_config())
+        scenario.warm_up()
+        snapshot = WarmStateSnapshot.from_scenario(scenario)
+        assert snapshot.warmup_convergence == scenario.warmup_convergence
+        assert snapshot.restore().warmup_convergence == scenario.warmup_convergence
+        assert snapshot.size_bytes == len(snapshot.blob) > 0
+
+    def test_source_scenario_stays_usable_after_capture(self):
+        config = small_mesh_config()
+        scenario = Scenario(config)
+        scenario.warm_up()
+        WarmStateSnapshot.from_scenario(scenario)
+        result = scenario.run(PulseSchedule.regular(1, 60.0))
+        assert run_digest(result.collector) == fresh_digest(config, 1)
+
+    def test_rejects_unwarmed_scenario(self):
+        scenario = Scenario(small_mesh_config())
+        with pytest.raises(SimulationError):
+            WarmStateSnapshot.from_scenario(scenario)
+
+    def test_rejects_already_run_scenario(self):
+        scenario = Scenario(small_mesh_config())
+        scenario.warm_up()
+        scenario.run(PulseSchedule.regular(0, 60.0))
+        with pytest.raises(SimulationError):
+            WarmStateSnapshot.from_scenario(scenario)
+
+    def test_snapshot_itself_is_picklable(self):
+        """Snapshots cross the process boundary via the pool initializer."""
+        snapshot = WarmStateSnapshot.capture(small_mesh_config())
+        clone = pickle.loads(pickle.dumps(snapshot))
+        result = clone.restore().run(PulseSchedule.regular(1, 60.0))
+        assert run_digest(result.collector) == fresh_digest(small_mesh_config(), 1)
+
+
+class TestWarmStateCache:
+    def test_capture_happens_once_per_config(self):
+        cache = WarmStateCache()
+        config = small_mesh_config()
+        first = cache.get(config)
+        assert cache.get(config) is first
+        assert len(cache) == 1
+
+    def test_distinct_configs_get_distinct_snapshots(self):
+        cache = WarmStateCache()
+        a = cache.get(small_mesh_config(seed=1))
+        b = cache.get(small_mesh_config(seed=2))
+        assert a is not b
+        assert len(cache) == 2
+
+    def test_lru_eviction(self):
+        cache = WarmStateCache(max_entries=2)
+        first = cache.get(small_mesh_config(seed=1))
+        cache.get(small_mesh_config(seed=2))
+        cache.get(small_mesh_config(seed=3))  # evicts seed=1
+        assert len(cache) == 2
+        assert cache.get(small_mesh_config(seed=1)) is not first
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ConfigurationError):
+            WarmStateCache(max_entries=0)
+
+    def test_cache_key_covers_every_config_field(self):
+        """A new ScenarioConfig field that never reaches the cache key
+        would silently alias distinct configs to one snapshot."""
+        import dataclasses
+
+        from repro.workload.scenarios import ScenarioConfig
+
+        key_fields = len(dataclasses.fields(ScenarioConfig))
+        key = _config_cache_key(small_mesh_config())
+        # id(topology) and topology.name both stand in for the topology
+        # field, hence one extra element.
+        assert len(key) == key_fields + 1
