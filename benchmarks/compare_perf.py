@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Compare a fresh ``perf.json`` against the committed baseline.
+
+CI runs the perf microbenchmarks (which write
+``benchmarks/results/perf.json``) and then this script, which fails the
+job when any benchmark's ``seconds`` regressed beyond the threshold
+(default: 1.25x the committed ``perf_baseline.json`` value). A markdown
+delta table is printed to stdout and, with ``--summary``, appended to a
+file (CI passes ``$GITHUB_STEP_SUMMARY`` so the table lands in the job
+summary page).
+
+Benchmarks present on only one side are reported as ``new``/``removed``
+but never fail the gate; refresh the baseline by copying the current
+``perf.json`` over ``perf_baseline.json`` in the PR that legitimately
+changes the numbers (or apply the documented override label to skip the
+gate entirely — see ``docs/OBSERVABILITY.md``).
+
+Stdlib-only on purpose: the gate must not depend on anything the test
+extra does not already install.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    """The ``benchmarks`` mapping of a perf JSON document."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    benchmarks = payload.get("benchmarks")
+    if not isinstance(benchmarks, dict):
+        raise ValueError(f"{path}: no 'benchmarks' mapping (schema changed?)")
+    return benchmarks
+
+
+def compare(baseline, current, threshold):
+    """Per-benchmark rows plus the list of regressed names.
+
+    Each row is ``(name, baseline_s, current_s, ratio, status)`` where
+    the numeric fields are ``None`` for one-sided entries.
+    """
+    rows = []
+    regressions = []
+    for name in sorted(set(baseline) | set(current)):
+        base_s = baseline.get(name, {}).get("seconds")
+        cur_s = current.get(name, {}).get("seconds")
+        if base_s is None:
+            rows.append((name, None, cur_s, None, "new"))
+            continue
+        if cur_s is None:
+            rows.append((name, base_s, None, None, "removed"))
+            continue
+        ratio = cur_s / base_s if base_s > 0 else float("inf")
+        if ratio > threshold:
+            status = "REGRESSION"
+            regressions.append(name)
+        elif ratio < 1.0 / threshold:
+            status = "improved"
+        else:
+            status = "ok"
+        rows.append((name, base_s, cur_s, ratio, status))
+    return rows, regressions
+
+
+def render_markdown(rows, threshold):
+    """The delta table as GitHub-flavoured markdown."""
+
+    def fmt(value, spec):
+        return format(value, spec) if value is not None else "—"
+
+    lines = [
+        f"### Perf gate (threshold: {threshold:.2f}x baseline)",
+        "",
+        "| benchmark | baseline (s) | current (s) | ratio | status |",
+        "| --- | ---: | ---: | ---: | --- |",
+    ]
+    for name, base_s, cur_s, ratio, status in rows:
+        lines.append(
+            f"| {name} | {fmt(base_s, '.6f')} | {fmt(cur_s, '.6f')} "
+            f"| {fmt(ratio, '.2f')} | {status} |"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        default="benchmarks/results/perf_baseline.json",
+        help="committed baseline perf JSON",
+    )
+    parser.add_argument(
+        "--current",
+        default="benchmarks/results/perf.json",
+        help="freshly measured perf JSON",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=1.25,
+        help="fail when current/baseline exceeds this ratio (default 1.25)",
+    )
+    parser.add_argument(
+        "--summary",
+        default=None,
+        help="append the markdown table to this file (e.g. $GITHUB_STEP_SUMMARY)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = load_benchmarks(args.baseline)
+        current = load_benchmarks(args.current)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"compare_perf: {exc}", file=sys.stderr)
+        return 2
+
+    rows, regressions = compare(baseline, current, args.threshold)
+    table = render_markdown(rows, args.threshold)
+    print(table)
+    if args.summary:
+        with open(args.summary, "a", encoding="utf-8") as handle:
+            handle.write(table)
+
+    if regressions:
+        print(
+            f"compare_perf: {len(regressions)} benchmark(s) regressed beyond "
+            f"{args.threshold:.2f}x: {', '.join(regressions)}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"compare_perf: {len(rows)} benchmark(s) within {args.threshold:.2f}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

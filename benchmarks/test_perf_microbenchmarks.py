@@ -27,11 +27,13 @@ from repro.core.penalty import PenaltyState
 from repro.experiments.base import DEFAULT_SEED, mesh100_config, small_mesh_config
 from repro.experiments.parallel import execute_sweep
 from repro.sim.engine import Engine
+from repro.trace import MemorySink, NullSink, PhaseProfiler, Tracer
 from repro.workload.pulses import PulseSchedule
 from repro.workload.scenarios import Scenario, WarmStateSnapshot
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 PERF_JSON = RESULTS_DIR / "perf.json"
+PROFILE_JSON = RESULTS_DIR / "profile.json"
 
 #: Timings accumulated by the tests in this module, flushed to
 #: ``perf.json`` once the module finishes.
@@ -257,3 +259,83 @@ def test_perf_fig8_sweep_sequential_vs_parallel():
         speedup_vs_fresh=round(fresh_s / par_s, 2),
     )
     assert snap_s < fresh_s * 1.35
+
+
+def _small_episode(tracer=None):
+    scenario = Scenario(small_mesh_config(seed=11))
+    scenario.warm_up()
+    return scenario.run(PulseSchedule.regular(2, 60.0), tracer=tracer)
+
+
+def test_perf_trace_noop_overhead():
+    """A disabled tracer must be free on the hot path.
+
+    Attaching ``Tracer(NullSink())`` is a complete no-op: the engine
+    keeps its uninstrumented fast path and no per-router hook fires, so
+    the traced and untraced episode must time identically to within
+    noise. Rounds alternate between the two modes so host-load drift
+    hits both equally; the 5% guard is the acceptance criterion, with
+    min-of-rounds keeping it robust on shared runners.
+    """
+    _small_episode()  # warm the topology cache outside the timed rounds
+    rounds = 9
+    untraced_s = None
+    noop_s = None
+    for _ in range(rounds):
+        plain = _timed(_small_episode)
+        noop = _timed(lambda: _small_episode(tracer=Tracer(NullSink())))
+        untraced_s = plain if untraced_s is None else min(untraced_s, plain)
+        noop_s = noop if noop_s is None else min(noop_s, noop)
+
+    _record("trace_episode_untraced", untraced_s)
+    _record(
+        "trace_episode_noop_sink",
+        noop_s,
+        overhead_pct=round((noop_s / untraced_s - 1.0) * 100, 2),
+    )
+    # 5% relative plus 1ms absolute: the episodes run identical code, so
+    # anything beyond scheduler noise on a sub-40ms workload means the
+    # fast path picked up real instrumentation cost.
+    assert noop_s < untraced_s * 1.05 + 0.001
+
+
+def test_perf_trace_full_collection():
+    """Cost of full causal tracing on a small episode, with the phase
+    profile exported alongside ``perf.json``.
+
+    Tracing is an observability feature, not a hot-path default, so the
+    cost is recorded rather than gated — but it should stay within a
+    small multiple of the untraced episode (generous guard below).
+    """
+    untraced_s = min(_timed(_small_episode) for _ in range(3))
+
+    profiler = PhaseProfiler()
+    best = None
+    records = 0
+    for _ in range(3):
+        tracer = Tracer(MemorySink())
+        start = time.perf_counter()
+        with profiler.phase("episode"):
+            _small_episode(tracer=tracer)
+        elapsed = time.perf_counter() - start
+        records = len(tracer.records)
+        profiler.bind(tracer=tracer)
+        best = elapsed if best is None else min(best, elapsed)
+        tracer.close()
+
+    _record(
+        "trace_episode_memory_sink",
+        best,
+        records=records,
+        overhead_vs_untraced=round(best / untraced_s, 2),
+    )
+    assert records > 0
+    # Full tracing allocates one record per protocol action; 3x the
+    # untraced episode is far above its real cost but below any bug
+    # that would make tracing unusable.
+    assert best < untraced_s * 3.0
+
+    profiler.export(str(PROFILE_JSON))
+    payload = json.loads(PROFILE_JSON.read_text(encoding="utf-8"))
+    assert payload["schema"] == 1
+    assert payload["phases"]

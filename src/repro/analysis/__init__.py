@@ -15,6 +15,12 @@ from repro.analysis.attribution import (
     attribute_recharges,
     suppression_extension_seconds,
 )
+from repro.analysis.causality import (
+    CausalityReport,
+    analyze_trace,
+    causal_chain,
+    compare_with_attribution,
+)
 from repro.analysis.distance import (
     DistanceBucket,
     convergence_by_distance,
@@ -34,13 +40,17 @@ from repro.analysis.sensitivity import (
 
 __all__ = [
     "AttributionReport",
+    "CausalityReport",
     "DistanceBucket",
     "InvariantReport",
     "InvariantViolation",
     "check_converged_invariants",
     "RechargeAttribution",
     "SensitivityPoint",
+    "analyze_trace",
     "attribute_recharges",
+    "causal_chain",
+    "compare_with_attribution",
     "convergence_by_distance",
     "evaluate_params",
     "farthest_settling_router",

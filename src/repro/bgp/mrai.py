@@ -17,12 +17,15 @@ from __future__ import annotations
 
 import functools
 from dataclasses import dataclass
-from typing import Callable, Dict, Set
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Set
 
 from repro.errors import ConfigurationError, TimerError
 from repro.sim.engine import Engine
 from repro.sim.rng import RngRegistry
 from repro.sim.timers import Timer
+
+if TYPE_CHECKING:
+    from repro.trace.tracer import Tracer
 
 
 @dataclass(frozen=True)
@@ -79,6 +82,11 @@ class MraiLimiter:
         self._flush = flush
         self._timers: Dict[str, Timer] = {}
         self._dirty: Dict[str, Set[str]] = {}
+        #: Causal tracer observing this limiter (set by Tracer.attach).
+        self.trace: Optional["Tracer"] = None
+        #: Per-peer trace id of the record whose handling last deferred a
+        #: prefix — the causal parent of the eventual ``mrai_flush``.
+        self._defer_cause: Dict[str, Optional[int]] = {}
 
     def _interval(self) -> float:
         return self.config.base * self._rng.uniform(
@@ -125,6 +133,9 @@ class MraiLimiter:
                 f"may send — send immediately instead"
             )
         self._dirty.setdefault(peer, set()).add(prefix)
+        if self.trace is not None:
+            # The last deferral before the flush is its direct cause.
+            self._defer_cause[peer] = self.trace.context
 
     def pending_prefixes(self, peer: str) -> Set[str]:
         return set(self._dirty.get(peer, ()))
@@ -137,6 +148,17 @@ class MraiLimiter:
         dirty = self._dirty.pop(peer, set())
         if not dirty:
             return
+        trace = self.trace
+        if trace is not None:
+            flush_rid = trace.emit(
+                "mrai_flush",
+                self._engine.now,
+                node=self.owner,
+                cause=self._defer_cause.pop(peer, None),
+                peer=peer,
+                prefixes=sorted(dirty),
+            )
+            trace.set_context(flush_rid)
         sent = self._flush(peer, dirty)
         if sent:
             self.note_sent(peer)

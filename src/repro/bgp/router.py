@@ -27,7 +27,7 @@ noisy (Loc-RIB changed) or silent.
 from __future__ import annotations
 
 from dataclasses import dataclass, field as dataclass_field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 from repro.bgp.attrs import Route
 from repro.bgp.decision import select_best
@@ -43,6 +43,9 @@ from repro.net.message import Message
 from repro.net.node import Node
 from repro.sim.engine import Engine
 from repro.sim.rng import RngRegistry
+
+if TYPE_CHECKING:
+    from repro.trace.tracer import Tracer
 
 #: Local preference assigned to self-originated routes — always wins.
 _SELF_ORIGINATED_PREF = 1_000_000
@@ -125,6 +128,8 @@ class BgpRouter(Node):
         self.rcn_history = RootCauseHistory()
         self.selective_filter = SelectiveDampingFilter()
         self.mrai = MraiLimiter(engine, self.config.mrai, name, rng, self._mrai_flush)
+        #: Causal tracer observing this router (set by Tracer.attach).
+        self.trace: Optional["Tracer"] = None
 
     # ------------------------------------------------------------------
     # table access
@@ -271,6 +276,16 @@ class BgpRouter(Node):
             self.stats.best_path_changes += 1
             self.last_best_change[prefix] = self.engine.now
             self._current_cause[prefix] = cause
+            if self.trace is not None:
+                route = self.loc_rib.route(prefix)
+                self.trace.emit(
+                    "select",
+                    self.engine.now,
+                    node=self.name,
+                    cause=self.trace.context,
+                    prefix=prefix,
+                    path=list(route.as_path) if route is not None else None,
+                )
             self._export(prefix)
         return changed
 

@@ -7,15 +7,18 @@ an ad-hoc simulation runner::
     rfd-repro run F8            # reproduce Figure 8 and print its table
     rfd-repro run T1 F3 F7      # several experiments in one invocation
     rfd-repro run F8 --jobs 4   # sweep points across 4 worker processes
+    rfd-repro run F8 --smoke --verify-digests benchmarks/results/f8_smoke_digests.json
     rfd-repro simulate --topology mesh --nodes 100 --pulses 3 --damping cisco
+    rfd-repro trace --topology mesh --nodes 100 --pulses 3 --out run.jsonl
     rfd-repro lint --pass all src/   # detlint + semlint static analysis
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.core.params import VENDOR_PRESETS
 from repro.experiments.registry import get_experiment, list_experiments
@@ -68,6 +71,29 @@ def _build_parser() -> argparse.ArgumentParser:
             "for every value"
         ),
     )
+    run.add_argument(
+        "--smoke",
+        action="store_true",
+        help=(
+            "reduced-pulse-count sweeps (0..3 instead of 0..10) — a "
+            "seconds-long wiring check for CI, not a figure reproduction"
+        ),
+    )
+    run.add_argument(
+        "--verify-digests",
+        default=None,
+        metavar="FILE",
+        help=(
+            "after each experiment, compare its sweep-point digests "
+            "against this committed JSON expectation and fail on mismatch"
+        ),
+    )
+    run.add_argument(
+        "--write-digests",
+        default=None,
+        metavar="FILE",
+        help="write the sweep-point digests of this run to FILE and exit 0",
+    )
 
     intended = sub.add_parser(
         "intended", help="evaluate the Section 3 intended-behaviour model"
@@ -110,6 +136,62 @@ def _build_parser() -> argparse.ArgumentParser:
             "oracle (reachability, loop-freedom, decision consistency, "
             "drain) and fail on any violation"
         ),
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="run one episode with causal tracing and summarize the DAG",
+        description=(
+            "Run a single scenario with the causal tracer attached, emit "
+            "the trace as canonical JSONL, and print a charge-attribution "
+            "summary (origin-flap / path-exploration / secondary-charging) "
+            "cross-checked against the windowed attribution analysis — see "
+            "docs/OBSERVABILITY.md."
+        ),
+    )
+    trace.add_argument("--topology", choices=["mesh", "internet"], default="mesh")
+    trace.add_argument("--nodes", type=int, default=100, help="topology size")
+    trace.add_argument("--pulses", type=int, default=3, help="number of flap pulses")
+    trace.add_argument("--interval", type=float, default=60.0, help="flap interval (s)")
+    trace.add_argument(
+        "--damping",
+        choices=["off", *VENDOR_PRESETS],
+        default="cisco",
+        help="damping parameter preset (or off)",
+    )
+    trace.add_argument("--rcn", action="store_true", help="enable RCN-enhanced damping")
+    trace.add_argument("--seed", type=int, default=42)
+    trace.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="write the full trace as canonical JSONL to FILE",
+    )
+    trace.add_argument(
+        "--json",
+        default=None,
+        metavar="FILE",
+        dest="summary_json",
+        help="write the causal-attribution summary as JSON to FILE",
+    )
+    trace.add_argument(
+        "--show",
+        type=int,
+        default=0,
+        metavar="N",
+        help="print the first N trace records (after --kinds filtering)",
+    )
+    trace.add_argument(
+        "--kinds",
+        default=None,
+        metavar="K1,K2",
+        help="comma-separated record kinds for --show (e.g. charge,reuse_expired)",
+    )
+    trace.add_argument(
+        "--profile",
+        default=None,
+        metavar="FILE",
+        help="export per-phase wall/event counters as JSON to FILE",
     )
 
     lint = sub.add_parser(
@@ -175,16 +257,68 @@ def _cmd_list() -> int:
     return 0
 
 
+def _result_digests(result) -> Dict[str, Dict[str, str]]:
+    """``{series_key: {pulses: digest}}`` for every sweep the experiment
+    ran (empty for experiments without sweep data)."""
+    sweeps = result.data.get("sweeps")
+    if not isinstance(sweeps, dict):
+        return {}
+    digests: Dict[str, Dict[str, str]] = {}
+    for key, series in sweeps.items():
+        points = {
+            str(point.pulses): point.digest
+            for point in getattr(series, "points", [])
+            if getattr(point, "digest", None)
+        }
+        if points:
+            digests[str(key)] = points
+    return digests
+
+
+def _verify_digests(
+    experiment_id: str,
+    actual: Dict[str, Dict[str, str]],
+    expected: Dict[str, Dict[str, Dict[str, str]]],
+) -> List[str]:
+    """Compare one experiment's digests against the expectation file's
+    entry; returns human-readable mismatch descriptions (empty = pass)."""
+    mismatches: List[str] = []
+    wanted = expected.get(experiment_id)
+    if wanted is None:
+        return [f"{experiment_id}: no entry in the digest expectation file"]
+    for series_key, points in sorted(wanted.items()):
+        got_points = actual.get(series_key, {})
+        for pulses, digest in sorted(points.items()):
+            got = got_points.get(pulses)
+            if got is None:
+                mismatches.append(
+                    f"{experiment_id}/{series_key}: missing point n={pulses}"
+                )
+            elif got != digest:
+                mismatches.append(
+                    f"{experiment_id}/{series_key} n={pulses}: "
+                    f"digest {got[:16]}… != expected {digest[:16]}…"
+                )
+    return mismatches
+
+
 def _cmd_run(
     experiment_ids: List[str],
     csv_dir: Optional[str],
     check_invariants: bool = False,
     jobs: int = 1,
+    smoke: bool = False,
+    verify_digests: Optional[str] = None,
+    write_digests: Optional[str] = None,
 ) -> int:
     if check_invariants:
         from repro.experiments.base import set_invariant_checking
 
         set_invariant_checking(True)
+    if smoke:
+        from repro.experiments.base import set_smoke_mode
+
+        set_smoke_mode(True)
     if jobs != 1:
         # Validate eagerly so a bad value fails before any sweep starts;
         # drivers take no arguments, so the default-jobs switch carries it.
@@ -193,12 +327,29 @@ def _cmd_run(
 
         resolve_jobs(jobs)
         set_default_jobs(jobs)
+    expected: Optional[Dict[str, Dict[str, Dict[str, str]]]] = None
+    if verify_digests is not None:
+        try:
+            with open(verify_digests, "r", encoding="utf-8") as handle:
+                expected = json.load(handle)
+        except (OSError, ValueError) as exc:
+            print(f"rfd-repro run: cannot read {verify_digests}: {exc}", file=sys.stderr)
+            return 2
     if any(eid.lower() == "all" for eid in experiment_ids):
         experiment_ids = list_experiments()
+    collected: Dict[str, Dict[str, Dict[str, str]]] = {}
+    mismatches: List[str] = []
     for experiment_id in experiment_ids:
         driver = get_experiment(experiment_id)
         result = driver()
         print(result.render())
+        digests = _result_digests(result)
+        if digests:
+            collected[result.experiment_id] = digests
+        if expected is not None:
+            mismatches.extend(
+                _verify_digests(result.experiment_id, digests, expected)
+            )
         if csv_dir is not None:
             from repro.experiments.export import export_result
 
@@ -206,6 +357,17 @@ def _cmd_run(
             for path in written:
                 print(f"wrote {path}")
         print()
+    if write_digests is not None:
+        with open(write_digests, "w", encoding="utf-8") as handle:
+            json.dump(collected, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote digests for {len(collected)} experiment(s) to {write_digests}")
+    if mismatches:
+        for mismatch in mismatches:
+            print(f"digest mismatch: {mismatch}", file=sys.stderr)
+        return 1
+    if expected is not None:
+        print("all sweep digests match the committed expectation")
     return 0
 
 
@@ -240,19 +402,26 @@ def _cmd_intended(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_simulate(args: argparse.Namespace) -> int:
-    from repro.experiments.parallel import resolve_jobs
-
-    resolve_jobs(args.jobs)
+def _adhoc_config(args: argparse.Namespace) -> ScenarioConfig:
+    """The shared --topology/--nodes/--damping/... scenario config used
+    by the ``simulate`` and ``trace`` subcommands."""
     if args.topology == "mesh":
         side = max(2, round(args.nodes ** 0.5))
         topology = mesh_topology(side, side)
     else:
         topology = internet_topology(args.nodes, seed=7)
     damping = None if args.damping == "off" else VENDOR_PRESETS[args.damping]
-    config = ScenarioConfig(
+    return ScenarioConfig(
         topology=topology, damping=damping, rcn=args.rcn, seed=args.seed
     )
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.experiments.parallel import resolve_jobs
+
+    resolve_jobs(args.jobs)
+    config = _adhoc_config(args)
+    topology = config.topology
     scenario = Scenario(config)
     scenario.warm_up()
     result = scenario.run(PulseSchedule.regular(args.pulses, args.interval))
@@ -293,6 +462,88 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         for failure in invariant_failures:
             print(f"invariant violation: {failure}", file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.analysis.attribution import analyze_run
+    from repro.analysis.causality import analyze_trace, compare_with_attribution
+    from repro.trace import JsonlSink, MemorySink, PhaseProfiler, Tracer, canonical_line
+    from repro.trace.records import KNOWN_KINDS
+
+    kinds: Optional[List[str]] = None
+    if args.kinds is not None:
+        kinds = [kind.strip() for kind in args.kinds.split(",") if kind.strip()]
+        unknown = sorted(set(kinds) - KNOWN_KINDS)
+        if unknown:
+            print(
+                f"rfd-repro trace: unknown kind(s) {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(KNOWN_KINDS))})",
+                file=sys.stderr,
+            )
+            return 2
+
+    profiler = PhaseProfiler()
+    config = _adhoc_config(args)
+    with profiler.phase("build"):
+        scenario = Scenario(config)
+    tracer = Tracer(JsonlSink(args.out) if args.out is not None else MemorySink())
+    profiler.bind(engine=scenario.engine, tracer=tracer)
+    with profiler.phase("warm_up"):
+        scenario.warm_up()
+    with profiler.phase("episode"):
+        result = scenario.run(
+            PulseSchedule.regular(args.pulses, args.interval), tracer=tracer
+        )
+    with profiler.phase("analysis"):
+        digest = tracer.close()
+        causal = analyze_trace(tracer.records)
+        windowed = analyze_run(result)
+        comparison = compare_with_attribution(causal, windowed.secondary_fraction)
+
+    summary = causal.to_json_dict()
+    summary["digest"] = digest
+    summary["windowed_comparison"] = comparison
+
+    rows: List[List[object]] = [
+        ["records", causal.records_total],
+        ["trace digest", (digest or "")[:16]],
+        ["charges (total)", causal.charges_total],
+    ]
+    for label, count in causal.charges_by_class.items():
+        rows.append([f"  charge: {label}", count])
+    rows.append(["postponements (total)", causal.postponements_total])
+    for label, count in causal.postponements_by_class.items():
+        rows.append([f"  postponed by: {label}", count])
+    rows.extend(
+        [
+            ["reuse expiries (noisy / muffled)", f"{causal.reuse_noisy} / {causal.reuse_muffled}"],
+            ["secondary fraction (trace)", round(causal.secondary_fraction, 4)],
+            ["secondary fraction (windowed)", round(windowed.secondary_fraction, 4)],
+            ["agreement gap", comparison["difference"]],
+        ]
+    )
+    print(render_table(["metric", "value"], rows, title="causal trace summary"))
+
+    if args.show > 0:
+        shown = 0
+        for record in tracer.records:
+            if kinds is not None and record.kind not in kinds:
+                continue
+            print(canonical_line(record))
+            shown += 1
+            if shown >= args.show:
+                break
+    if args.out is not None:
+        print(f"wrote trace to {args.out}")
+    if args.summary_json is not None:
+        with open(args.summary_json, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote summary to {args.summary_json}")
+    if args.profile is not None:
+        profiler.export(args.profile)
+        print(f"wrote profile to {args.profile}")
     return 0
 
 
@@ -355,12 +606,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_list()
     if args.command == "run":
         return _cmd_run(
-            args.experiments, args.csv_dir, args.check_invariants, args.jobs
+            args.experiments,
+            args.csv_dir,
+            args.check_invariants,
+            args.jobs,
+            smoke=args.smoke,
+            verify_digests=args.verify_digests,
+            write_digests=args.write_digests,
         )
     if args.command == "intended":
         return _cmd_intended(args)
     if args.command == "simulate":
         return _cmd_simulate(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "lint":
         return _cmd_lint(args)
     return 1  # pragma: no cover - argparse enforces the choices

@@ -17,13 +17,16 @@ from __future__ import annotations
 
 import functools
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.core.params import DampingParams, UpdateKind
 from repro.core.penalty import PenaltyState
 from repro.errors import SimulationError
 from repro.sim.engine import Engine
 from repro.sim.timers import Timer
+
+if TYPE_CHECKING:
+    from repro.trace.tracer import Tracer
 
 #: Callback fired when a reuse timer expires: (peer, prefix) -> noisy?
 ReuseCallback = Callable[[str, str], bool]
@@ -76,13 +79,17 @@ class UpdateOutcome:
 class _Entry:
     """Damping state for one (peer, prefix)."""
 
-    __slots__ = ("penalty", "suppressed", "timer", "current_record")
+    __slots__ = ("penalty", "suppressed", "timer", "current_record", "trace_timer")
 
     def __init__(self, params: DampingParams) -> None:
         self.penalty = PenaltyState(params)
         self.suppressed = False
         self.timer: Optional[Timer] = None
         self.current_record: Optional[SuppressionRecord] = None
+        #: Trace-record id of whatever last (re)armed the reuse timer
+        #: (``reuse_set`` / ``reuse_postponed``) — the causal parent of
+        #: the eventual ``reuse_expired`` record.
+        self.trace_timer: Optional[int] = None
 
 
 class DampingManager:
@@ -121,6 +128,8 @@ class DampingManager:
         #: Observers notified on suppression start/end:
         #: f(time, peer, prefix, suppressed_now).
         self.suppression_observers: List[Callable[[float, str, str, bool], None]] = []
+        #: Causal tracer observing this manager (set by Tracer.attach).
+        self.trace: Optional["Tracer"] = None
 
     # ------------------------------------------------------------------
     # queries
@@ -191,6 +200,21 @@ class DampingManager:
         else:
             penalty = entry.penalty.touch(now)
 
+        trace = self.trace
+        charge_rid: Optional[int] = None
+        if trace is not None:
+            charge_rid = trace.emit(
+                "charge",
+                now,
+                node=self.owner,
+                cause=trace.context,
+                peer=peer,
+                prefix=prefix,
+                kind=kind.name.lower(),
+                charged=charge,
+                penalty=round(penalty, 6),
+            )
+
         newly_suppressed = False
         rescheduled = False
         if entry.suppressed:
@@ -205,8 +229,18 @@ class DampingManager:
                 rescheduled = True
                 if entry.current_record is not None:
                     entry.current_record.recharges.append(now)
+                if trace is not None:
+                    entry.trace_timer = trace.emit(
+                        "reuse_postponed",
+                        now,
+                        node=self.owner,
+                        cause=charge_rid,
+                        peer=peer,
+                        prefix=prefix,
+                        expiry=round(now + delay, 6),
+                    )
         elif penalty > self.params.cutoff_threshold:
-            self._suppress(peer, prefix, entry, penalty)
+            self._suppress(peer, prefix, entry, penalty, cause_id=charge_rid)
             newly_suppressed = True
 
         return UpdateOutcome(
@@ -242,7 +276,14 @@ class DampingManager:
             )
         return entry.timer
 
-    def _suppress(self, peer: str, prefix: str, entry: _Entry, penalty: float) -> None:
+    def _suppress(
+        self,
+        peer: str,
+        prefix: str,
+        entry: _Entry,
+        penalty: float,
+        cause_id: Optional[int] = None,
+    ) -> None:
         now = self._engine.now
         entry.suppressed = True
         record = SuppressionRecord(
@@ -257,6 +298,26 @@ class DampingManager:
                 f"(penalty {penalty}, reuse {self.params.reuse_threshold})"
             )
         self._ensure_timer(peer, prefix, entry).reschedule(delay)
+        trace = self.trace
+        if trace is not None:
+            suppress_rid = trace.emit(
+                "suppress",
+                now,
+                node=self.owner,
+                cause=cause_id,
+                peer=peer,
+                prefix=prefix,
+                penalty=round(penalty, 6),
+            )
+            entry.trace_timer = trace.emit(
+                "reuse_set",
+                now,
+                node=self.owner,
+                cause=suppress_rid,
+                peer=peer,
+                prefix=prefix,
+                expiry=round(now + delay, 6),
+            )
         for observer in self.suppression_observers:
             observer(now, peer, prefix, True)
 
@@ -268,7 +329,24 @@ class DampingManager:
         entry.suppressed = False
         for observer in self.suppression_observers:
             observer(now, peer, prefix, False)
+        trace = self.trace
+        expired_rid: Optional[int] = None
+        if trace is not None:
+            expired_rid = trace.emit(
+                "reuse_expired",
+                now,
+                node=self.owner,
+                cause=entry.trace_timer,
+                peer=peer,
+                prefix=prefix,
+            )
+            entry.trace_timer = None
+            # Everything the reuse triggers (re-selection, sends, and —
+            # downstream — the secondary charges) descends from this record.
+            trace.set_context(expired_rid)
         noisy = bool(self._on_reuse(peer, prefix))
+        if trace is not None and expired_rid is not None:
+            trace.amend(expired_rid, noisy=noisy)
         self.reuse_events.append(ReuseEvent(time=now, peer=peer, prefix=prefix, noisy=noisy))
         if entry.current_record is not None:
             entry.current_record.ended = now

@@ -19,11 +19,34 @@ from repro.workload.scenarios import FlapRunResult, Scenario, ScenarioConfig
 #: The paper sweeps 0..10 pulses on its figures' x-axes.
 DEFAULT_PULSE_COUNTS = tuple(range(0, 11))
 
+#: The reduced sweep used by ``--smoke`` runs (CI wiring checks): enough
+#: points to exercise no-flap, single-flap, and suppression onset, small
+#: enough to finish in seconds.
+SMOKE_PULSE_COUNTS = (0, 1, 2, 3)
+
 #: Seed used by the standard experiments (any fixed value reproduces).
 DEFAULT_SEED = 42
 
+#: When True, experiment drivers sweep :data:`SMOKE_PULSE_COUNTS`
+#: instead of the full 0..10 — toggled by the CLI's ``--smoke`` flag; a
+#: module-level switch because experiment drivers take no arguments by
+#: contract (same pattern as ``_CHECK_INVARIANTS`` below).
+_SMOKE_MODE = False
+
+
+def set_smoke_mode(enabled: bool) -> None:
+    """Enable/disable the reduced-pulse-count smoke sweep."""
+    global _SMOKE_MODE
+    _SMOKE_MODE = enabled
+
+
+def smoke_mode_enabled() -> bool:
+    return _SMOKE_MODE
+
 
 def default_pulse_counts() -> List[int]:
+    if _SMOKE_MODE:
+        return list(SMOKE_PULSE_COUNTS)
     return list(DEFAULT_PULSE_COUNTS)
 
 

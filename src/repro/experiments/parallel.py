@@ -38,6 +38,8 @@ from typing import List, Optional, Sequence, Tuple, Union
 from repro.errors import ConfigurationError, SimulationError
 from repro.metrics.digest import run_digest
 from repro.sim.rng import RngRegistry
+from repro.trace.sinks import JsonlSink
+from repro.trace.tracer import Tracer
 from repro.workload.pulses import PulseSchedule
 from repro.workload.scenarios import Scenario, ScenarioConfig, WarmStateSnapshot
 
@@ -63,6 +65,10 @@ class PointOutcome:
     secondary_charges: int
     warmup_convergence: float
     digest: str
+    #: SHA-256 of the point's canonical JSONL trace when tracing was
+    #: requested (``trace_dir``); ``None`` otherwise. Identical whatever
+    #: ``jobs`` is — the parallel determinism guarantee covers traces too.
+    trace_digest: Optional[str] = None
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -89,10 +95,19 @@ def run_point_outcome(
     pulses: int,
     flap_interval: float = 60.0,
     check_invariants: bool = False,
+    trace_path: Optional[str] = None,
 ) -> PointOutcome:
     """Run one regular-pulse episode on a warmed scenario and reduce it
-    to a :class:`PointOutcome`."""
-    result = scenario.run(PulseSchedule.regular(pulses, flap_interval))
+    to a :class:`PointOutcome`.
+
+    ``trace_path`` writes the episode's causal trace there as canonical
+    JSONL and records its digest on the outcome.
+    """
+    tracer: Optional[Tracer] = None
+    if trace_path is not None:
+        tracer = Tracer(JsonlSink(trace_path))
+    result = scenario.run(PulseSchedule.regular(pulses, flap_interval), tracer=tracer)
+    trace_digest = tracer.close() if tracer is not None else None
     if check_invariants:
         # Imported lazily: analysis.invariants imports workload.scenarios,
         # which sits below this module in the layering.
@@ -109,6 +124,7 @@ def run_point_outcome(
         secondary_charges=summary.secondary_charges,
         warmup_convergence=result.warmup_convergence,
         digest=run_digest(result.collector),
+        trace_digest=trace_digest,
     )
 
 
@@ -138,25 +154,39 @@ def _sweep_source(
 #: Installed once per worker by the pool initializer; spawn-context
 #: workers do not inherit parent module state, so everything a point
 #: needs is shipped explicitly.
-_WORKER_STATE: Optional[Tuple[SweepSource, float, bool]] = None
+_WORKER_STATE: Optional[Tuple[SweepSource, float, bool, Optional[str]]] = None
 
 
 def _init_worker(
-    source: SweepSource, flap_interval: float, check_invariants: bool
+    source: SweepSource,
+    flap_interval: float,
+    check_invariants: bool,
+    trace_dir: Optional[str],
 ) -> None:
     global _WORKER_STATE
-    _WORKER_STATE = (source, flap_interval, check_invariants)
+    _WORKER_STATE = (source, flap_interval, check_invariants, trace_dir)
 
 
-def _worker_run_point(pulses: int) -> PointOutcome:
+def _point_trace_path(trace_dir: str, index: int, pulses: int) -> str:
+    """Per-point trace file name: stable, index-ordered, pulse-labelled."""
+    return os.path.join(trace_dir, f"point_{index:03d}_p{pulses}.jsonl")
+
+
+def _worker_run_point(task: Tuple[int, int]) -> PointOutcome:
     if _WORKER_STATE is None:  # pragma: no cover - pool misuse guard
         raise SimulationError("sweep worker used before initialisation")
-    source, flap_interval, check_invariants = _WORKER_STATE
+    source, flap_interval, check_invariants, trace_dir = _WORKER_STATE
+    index, pulses = task
     return run_point_outcome(
         _materialise(source),
         pulses,
         flap_interval=flap_interval,
         check_invariants=check_invariants,
+        trace_path=(
+            _point_trace_path(trace_dir, index, pulses)
+            if trace_dir is not None
+            else None
+        ),
     )
 
 
@@ -173,6 +203,7 @@ def execute_sweep(
     use_snapshots: bool = True,
     check_invariants: bool = False,
     mp_start_method: str = "spawn",
+    trace_dir: Optional[str] = None,
 ) -> List[PointOutcome]:
     """Run one episode per pulse count, optionally across processes.
 
@@ -180,11 +211,20 @@ def execute_sweep(
     ``0`` one worker per CPU, ``N`` workers otherwise). Outcomes are
     returned in ``pulse_counts`` order and are digest-identical whatever
     ``jobs`` resolves to.
+
+    ``trace_dir`` enables causal tracing: each point writes its canonical
+    JSONL trace to ``<trace_dir>/point_<index>_p<pulses>.jsonl`` (the
+    directory is created if needed), and each outcome carries the trace's
+    digest. Every per-point file is written wholly by whichever process
+    ran that point, so the files — like the outcomes — are byte-identical
+    between sequential and parallel execution.
     """
     counts = [int(p) for p in pulse_counts]
     worker_count = resolve_jobs(jobs)
     if not counts:
         return []
+    if trace_dir is not None:
+        os.makedirs(trace_dir, exist_ok=True)
 
     source = _sweep_source(config, len(counts), use_snapshots)
     if worker_count == 1 or len(counts) == 1:
@@ -194,8 +234,13 @@ def execute_sweep(
                 pulses,
                 flap_interval=flap_interval,
                 check_invariants=check_invariants,
+                trace_path=(
+                    _point_trace_path(trace_dir, index, pulses)
+                    if trace_dir is not None
+                    else None
+                ),
             )
-            for pulses in counts
+            for index, pulses in enumerate(counts)
         ]
 
     context = multiprocessing.get_context(mp_start_method)
@@ -203,11 +248,11 @@ def execute_sweep(
         max_workers=min(worker_count, len(counts)),
         mp_context=context,
         initializer=_init_worker,
-        initargs=(source, flap_interval, check_invariants),
+        initargs=(source, flap_interval, check_invariants, trace_dir),
     ) as pool:
         # map() yields results in submission order, so the sweep's output
         # ordering is independent of worker completion order.
-        return list(pool.map(_worker_run_point, counts))
+        return list(pool.map(_worker_run_point, list(enumerate(counts))))
 
 
 __all__ = [

@@ -16,7 +16,16 @@ from typing import FrozenSet, Optional, Tuple
 from repro.errors import ConfigurationError
 
 #: Packages that must stay free of environment/filesystem access (DET007).
-DEFAULT_PROTECTED_PACKAGES: Tuple[str, ...] = ("repro.core", "repro.sim", "repro.bgp")
+DEFAULT_PROTECTED_PACKAGES: Tuple[str, ...] = (
+    "repro.core",
+    "repro.sim",
+    "repro.bgp",
+    # Trace records/tracer sit on the hot path and must stay as
+    # deterministic as the protocol code they observe; the sinks and
+    # profiler are deliberately excluded (file I/O, wall clock).
+    "repro.trace.records",
+    "repro.trace.tracer",
+)
 
 #: Modules whose functions must be effect-free (SEM001).
 DEFAULT_DECISION_MODULES: Tuple[str, ...] = ("repro.bgp.decision",)

@@ -25,6 +25,9 @@ class Message:
     msg_id: int = field(default_factory=lambda: next(_message_ids))
     sent_at: Optional[float] = None
     delivered_at: Optional[float] = None
+    #: Id of this message's ``send`` trace record, stamped by the causal
+    #: tracer so the delivery can name its cause (None when not tracing).
+    trace_id: Optional[int] = None
 
     @property
     def latency(self) -> Optional[float]:

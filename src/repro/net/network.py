@@ -8,7 +8,7 @@ hook to count messages without subclassing anything.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import ConfigurationError, SimulationError
 from repro.net.link import Link, LinkConfig
@@ -16,6 +16,9 @@ from repro.net.message import Message
 from repro.net.node import Node
 from repro.sim.engine import Engine
 from repro.sim.rng import RngRegistry
+
+if TYPE_CHECKING:
+    from repro.trace.tracer import Tracer
 
 DeliveryHook = Callable[[Message], None]
 
@@ -35,6 +38,8 @@ class Network:
         self._delivery_hooks: List[DeliveryHook] = []
         self._send_hooks: List[DeliveryHook] = []
         self.messages_delivered = 0
+        #: Causal tracer observing traffic (set by Tracer.attach).
+        self.trace: Optional["Tracer"] = None
 
     # ------------------------------------------------------------------
     # construction
@@ -117,6 +122,8 @@ class Network:
         """Send ``payload`` over the direct link from ``src`` to ``dst``."""
         link = self.link(src, dst)
         message = link.send(src, payload)
+        if self.trace is not None:
+            self.trace.note_send(message, self.engine.now)
         for hook in self._send_hooks:
             hook(message)
         return message
@@ -124,6 +131,8 @@ class Network:
     def deliver(self, message: Message) -> None:
         """Called by links when a message arrives; dispatches to the node."""
         self.messages_delivered += 1
+        if self.trace is not None:
+            self.trace.note_recv(message, self.engine.now)
         for hook in self._delivery_hooks:
             hook(message)
         self._nodes[message.dst].handle_message(message)

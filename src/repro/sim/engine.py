@@ -26,6 +26,10 @@ from repro.sim.events import ScheduleTie
 
 TieObserver = Callable[[ScheduleTie], None]
 
+#: Observer invoked for every executed event when instrumentation is on
+#: (the causal tracer installs one via :meth:`Engine.set_event_hook`).
+EventHook = Callable[["ScheduledEvent"], None]
+
 #: Heap entry layout: ties in ``time`` break on ``seq``, and the event
 #: handle never participates in comparisons.
 _HeapEntry = Tuple[float, int, "ScheduledEvent"]
@@ -162,6 +166,11 @@ class Engine:
         self._tie_observers: List[TieObserver] = []
         self._instant_time: Optional[float] = None
         self._instant_actors: Dict[str, Tuple[int, Optional[str]]] = {}
+        self._event_hook: Optional[EventHook] = None
+        #: True when the run loops must route through :meth:`_execute`
+        #: (tie detection or an event hook); kept as one precomputed flag
+        #: so the hot path stays a single attribute test.
+        self._instrumented = self._detect_ties
 
     @property
     def now(self) -> float:
@@ -287,6 +296,15 @@ class Engine:
     def enable_tie_detection(self) -> None:
         """Turn on the schedule-race detector for subsequent events."""
         self._detect_ties = True
+        self._instrumented = True
+
+    def set_event_hook(self, hook: Optional[EventHook]) -> None:
+        """Install (or clear) an observer invoked with every executed
+        event, before its callback fires. Used by the causal tracer; with
+        no hook and no tie detection the run loops keep the
+        uninstrumented fast dispatch path."""
+        self._event_hook = hook
+        self._instrumented = self._detect_ties or hook is not None
 
     def add_tie_observer(self, observer: TieObserver) -> None:
         """Invoke ``observer`` with every :class:`ScheduleTie` as it is
@@ -332,6 +350,8 @@ class Engine:
         self._events_executed += 1
         if self._detect_ties:
             self._note_tie(event)
+        if self._event_hook is not None:
+            self._event_hook(event)
         event.callback()
 
     def step(self) -> bool:
@@ -383,10 +403,10 @@ class Engine:
                     break
                 heappop(queue)
                 event = entry[2]
-                if self._detect_ties:
+                if self._instrumented:
                     self._execute(event)
                 else:
-                    # Hot path: no tie bookkeeping, no extra call.
+                    # Hot path: no tie/hook bookkeeping, no extra call.
                     event._engine = None
                     self._now = entry[0]
                     self._events_executed += 1
@@ -426,10 +446,10 @@ class Engine:
                     break
                 heappop(queue)
                 event = entry[2]
-                if self._detect_ties:
+                if self._instrumented:
                     self._execute(event)
                 else:
-                    # Hot path: no tie bookkeeping, no extra call.
+                    # Hot path: no tie/hook bookkeeping, no extra call.
                     event._engine = None
                     self._now = entry[0]
                     self._events_executed += 1
@@ -482,6 +502,7 @@ def format_time(seconds: float) -> str:
 
 __all__: List[str] = [
     "Engine",
+    "EventHook",
     "ScheduleTie",
     "ScheduledEvent",
     "TieObserver",

@@ -1,0 +1,105 @@
+"""Lightweight per-phase profiling for simulation runs.
+
+:class:`PhaseProfiler` measures named phases (build, warm-up, episode,
+analysis, ...) with wall-clock duration, engine-event deltas, and — when
+a :class:`~repro.trace.tracer.Tracer` is supplied — per-tag event counts.
+The report is exported as JSON next to ``perf.json`` so the perf
+trajectory ships with a breakdown of *where* the time went.
+
+Profiling reads the host clock, which is inherently non-deterministic;
+that is acceptable here because the profile is an observability artifact,
+never an input to the simulation (the detlint suppressions below mark
+exactly those reads).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional
+
+if TYPE_CHECKING:
+    from repro.sim.engine import Engine
+
+    from .tracer import Tracer
+
+#: Schema stamp for ``profile.json``.
+PROFILE_SCHEMA_VERSION = 1
+
+
+class PhaseProfiler:
+    """Accumulates wall/event counters for named phases of one run."""
+
+    def __init__(
+        self,
+        engine: Optional["Engine"] = None,
+        tracer: Optional["Tracer"] = None,
+    ) -> None:
+        self._engine = engine
+        self._tracer = tracer
+        self._phases: List[Dict[str, object]] = []
+
+    def bind(
+        self,
+        engine: Optional["Engine"] = None,
+        tracer: Optional["Tracer"] = None,
+    ) -> None:
+        """Late-bind the engine/tracer (they often only exist after the
+        profiler's first phase has built them)."""
+        if engine is not None:
+            self._engine = engine
+        if tracer is not None:
+            self._tracer = tracer
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Measure one named phase (wall seconds + engine-event delta)."""
+        events_before = self._engine.events_executed if self._engine else 0
+        tags_before = dict(self._tracer.events_by_tag) if self._tracer else {}
+        start = time.perf_counter()  # detlint: disable=DET001
+        try:
+            yield
+        finally:
+            wall = time.perf_counter() - start  # detlint: disable=DET001
+            entry: Dict[str, object] = {
+                "phase": name,
+                "wall_seconds": round(wall, 6),
+            }
+            if self._engine is not None:
+                entry["events"] = self._engine.events_executed - events_before
+            if self._tracer is not None:
+                deltas = {
+                    tag: count - tags_before.get(tag, 0)
+                    for tag, count in sorted(self._tracer.events_by_tag.items())
+                    if count - tags_before.get(tag, 0)
+                }
+                if deltas:
+                    entry["events_by_tag"] = deltas
+            self._phases.append(entry)
+
+    @property
+    def phases(self) -> List[Dict[str, object]]:
+        return list(self._phases)
+
+    def report(self) -> Dict[str, object]:
+        """The complete profile as a JSON-serialisable payload."""
+        total_wall = 0.0
+        for entry in self._phases:
+            wall = entry["wall_seconds"]
+            if isinstance(wall, float):
+                total_wall += wall
+        return {
+            "schema": PROFILE_SCHEMA_VERSION,
+            "total_wall_seconds": round(total_wall, 6),
+            "phases": list(self._phases),
+        }
+
+    def export(self, path: str) -> None:
+        """Write the profile report to ``path`` as indented JSON."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.report(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+
+__all__ = ["PROFILE_SCHEMA_VERSION", "PhaseProfiler"]

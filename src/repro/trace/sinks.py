@@ -1,0 +1,95 @@
+"""Trace sinks: where a sealed trace goes.
+
+The :class:`TraceSink` protocol decouples the instrumented hot path from
+output concerns. The tracer buffers records in memory during the run and
+hands the complete, id-ordered sequence to the sink exactly once at
+:meth:`repro.trace.tracer.Tracer.close`; the sink returns the SHA-256
+digest of the canonical JSONL document (or ``None`` if it collects
+nothing). Because the document is canonical and written in one shot,
+digests — and for :class:`JsonlSink`, the bytes on disk — are identical
+however the run was produced (``--jobs 1`` vs ``--jobs 2``).
+
+:class:`NullSink` reports ``collecting = False``, which makes the whole
+attach step a no-op: the engine hook is never installed and the fast
+dispatch path stays untouched.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import TYPE_CHECKING, List, Optional, Protocol, Sequence
+
+from .records import render_jsonl
+
+if TYPE_CHECKING:
+    from .records import TraceRecord
+
+
+def trace_digest(document: str) -> str:
+    """SHA-256 hex digest of a canonical JSONL trace document."""
+    return hashlib.sha256(document.encode("utf-8")).hexdigest()
+
+
+class TraceSink(Protocol):
+    """Destination for one sealed trace.
+
+    ``collecting`` tells the tracer whether instrumentation should be
+    installed at all; ``write`` receives the complete id-ordered record
+    sequence once and returns the document digest (``None`` when the
+    sink discards its input).
+    """
+
+    collecting: bool
+
+    def write(self, records: Sequence["TraceRecord"]) -> Optional[str]:
+        """Consume the sealed trace; return its digest if one exists."""
+        ...
+
+
+class NullSink:
+    """Discard everything; signals the tracer not to instrument at all."""
+
+    collecting = False
+
+    def write(self, records: Sequence["TraceRecord"]) -> Optional[str]:
+        del records
+        return None
+
+
+class MemorySink:
+    """Keep the sealed records (and digest) in memory for inspection."""
+
+    collecting = True
+
+    def __init__(self) -> None:
+        self.records: List["TraceRecord"] = []
+        self.digest: Optional[str] = None
+
+    def write(self, records: Sequence["TraceRecord"]) -> Optional[str]:
+        self.records = list(records)
+        self.digest = trace_digest(render_jsonl(self.records))
+        return self.digest
+
+
+class JsonlSink:
+    """Write the sealed trace to a JSONL file in one shot.
+
+    The file contains exactly the canonical document, so its bytes (and
+    hence its digest) are reproducible across hosts and worker layouts.
+    """
+
+    collecting = True
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.digest: Optional[str] = None
+
+    def write(self, records: Sequence["TraceRecord"]) -> Optional[str]:
+        document = render_jsonl(records)
+        with open(self.path, "w", encoding="utf-8", newline="\n") as handle:
+            handle.write(document)
+        self.digest = trace_digest(document)
+        return self.digest
+
+
+__all__ = ["JsonlSink", "MemorySink", "NullSink", "TraceSink", "trace_digest"]

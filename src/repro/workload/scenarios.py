@@ -28,7 +28,7 @@ from __future__ import annotations
 import pickle
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace
-from typing import Dict, Hashable, List, Mapping, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Hashable, List, Mapping, Optional, Tuple
 
 from repro.bgp.mrai import MraiConfig
 from repro.bgp.origin import OriginRouter
@@ -46,6 +46,9 @@ from repro.sim.events import EventTrace
 from repro.sim.rng import RngRegistry
 from repro.topology.model import Topology
 from repro.workload.pulses import PulseSchedule
+
+if TYPE_CHECKING:
+    from repro.trace.tracer import Tracer
 
 ORIGIN_NAME = "originAS"
 DEFAULT_PREFIX = "p0"
@@ -288,8 +291,17 @@ class Scenario:
         self.engine.clear_ties()
         return self.warmup_convergence
 
-    def run(self, schedule: PulseSchedule) -> FlapRunResult:
-        """Drive one measured flapping episode and return its result."""
+    def run(
+        self, schedule: PulseSchedule, tracer: Optional["Tracer"] = None
+    ) -> FlapRunResult:
+        """Drive one measured flapping episode and return its result.
+
+        ``tracer`` optionally attaches a causal
+        :class:`~repro.trace.tracer.Tracer` for the episode (warm-up is
+        deliberately not traced — the measured episode starts clean). A
+        tracer over a :class:`~repro.trace.sinks.NullSink` attaches
+        nothing, keeping the engine's fast dispatch path.
+        """
         if not self._warmed_up:
             self.warm_up()
         if self._ran:
@@ -299,6 +311,15 @@ class Scenario:
         collector = MetricsCollector()
         collector.attach(self.network, list(self.routers.values()))
 
+        if tracer is not None:
+            tracer.attach(
+                self.engine,
+                self.network,
+                list(self.routers.values()) + [self.origin],
+            )
+            if not tracer.enabled:
+                tracer = None
+
         trace = EventTrace()
         self._wire_trace(trace)
 
@@ -306,7 +327,7 @@ class Scenario:
         for offset, status in schedule.events:
             self.engine.schedule_at(
                 start + offset,
-                self._make_flap_action(status, trace),
+                self._make_flap_action(status, trace, tracer),
                 actor=ORIGIN_NAME,
                 tag="flap",
             )
@@ -337,9 +358,18 @@ class Scenario:
             trace=trace,
         )
 
-    def _make_flap_action(self, status: str, trace: EventTrace):
+    def _make_flap_action(
+        self, status: str, trace: EventTrace, tracer: Optional["Tracer"] = None
+    ):
         def action() -> None:
             trace.record(self.engine.now, "flap", node=ORIGIN_NAME, status=status)
+            if tracer is not None:
+                # Flaps are the roots of the causal DAG: no cause, and
+                # everything the origin emits next descends from them.
+                flap_rid = tracer.emit(
+                    "flap", self.engine.now, node=ORIGIN_NAME, status=status
+                )
+                tracer.set_context(flap_rid)
             if status == "down":
                 self.origin.take_down()
             else:

@@ -285,3 +285,111 @@ def test_run_check_invariants(capsys):
         set_invariant_checking(False)
     assert not invariant_checking_enabled()
     assert "F3" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# trace subcommand and smoke-digest verification
+# ----------------------------------------------------------------------
+
+
+def test_trace_small_mesh(capsys, tmp_path):
+    out_path = tmp_path / "trace.jsonl"
+    summary_path = tmp_path / "summary.json"
+    profile_path = tmp_path / "profile.json"
+    code = main(
+        [
+            "trace",
+            "--topology", "mesh",
+            "--nodes", "16",
+            "--pulses", "2",
+            "--seed", "5",
+            "--out", str(out_path),
+            "--json", str(summary_path),
+            "--profile", str(profile_path),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "causal trace summary" in out
+    assert "trace digest" in out
+
+    import json as _json
+
+    from repro.trace import parse_jsonl
+
+    records = parse_jsonl(out_path.read_text(encoding="utf-8"))
+    assert records
+    assert sum(1 for r in records if r.kind == "flap") == 4
+
+    summary = _json.loads(summary_path.read_text(encoding="utf-8"))
+    assert summary["records_total"] == len(records)
+    profile = _json.loads(profile_path.read_text(encoding="utf-8"))
+    assert [p["phase"] for p in profile["phases"]] == [
+        "build", "warm_up", "episode", "analysis",
+    ]
+
+
+def test_trace_show_filters_by_kind(capsys):
+    assert main(["trace", "--nodes", "9", "--pulses", "1", "--show", "2",
+                 "--kinds", "flap"]) == 0
+    out = capsys.readouterr().out
+    assert '"kind":"flap"' in out
+    assert '"kind":"send"' not in out
+
+
+def test_trace_rejects_unknown_kind(capsys):
+    assert main(["trace", "--nodes", "9", "--pulses", "1",
+                 "--kinds", "nonsense"]) == 2
+    assert "unknown kind" in capsys.readouterr().err
+
+
+def test_run_smoke_digest_round_trip(capsys, tmp_path):
+    from repro.experiments.base import set_smoke_mode, smoke_mode_enabled
+
+    digests = tmp_path / "digests.json"
+    try:
+        assert main(["run", "F8", "--smoke", "--write-digests", str(digests)]) == 0
+        capsys.readouterr()
+        assert main(["run", "F8", "--smoke", "--verify-digests", str(digests)]) == 0
+    finally:
+        set_smoke_mode(False)
+    assert not smoke_mode_enabled()
+    assert "all sweep digests match" in capsys.readouterr().out
+
+
+def test_run_smoke_digest_mismatch_fails(capsys, tmp_path):
+    import json as _json
+
+    from repro.experiments.base import set_smoke_mode
+
+    digests = tmp_path / "digests.json"
+    try:
+        assert main(["run", "F8", "--smoke", "--write-digests", str(digests)]) == 0
+        payload = _json.loads(digests.read_text(encoding="utf-8"))
+        series = next(iter(payload["F8"]))
+        payload["F8"][series]["1"] = "0" * 64
+        digests.write_text(_json.dumps(payload), encoding="utf-8")
+        capsys.readouterr()
+        assert main(["run", "F8", "--smoke", "--verify-digests", str(digests)]) == 1
+    finally:
+        set_smoke_mode(False)
+    assert "digest mismatch" in capsys.readouterr().err
+
+
+def test_committed_smoke_digests_match_current_code(capsys):
+    """The expectation file CI pins the smoke sweep to must track the
+    simulator: if this fails, regenerate it with
+    ``rfd-repro run F8 --smoke --write-digests benchmarks/results/f8_smoke_digests.json``."""
+    import pathlib
+
+    from repro.experiments.base import set_smoke_mode
+
+    committed = (
+        pathlib.Path(__file__).resolve().parents[2]
+        / "benchmarks" / "results" / "f8_smoke_digests.json"
+    )
+    try:
+        assert main(["run", "F8", "--smoke", "--verify-digests", str(committed)]) == 0
+    finally:
+        set_smoke_mode(False)
+    assert "all sweep digests match" in capsys.readouterr().out

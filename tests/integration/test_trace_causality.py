@@ -1,0 +1,100 @@
+"""Integration tests for causal tracing: determinism across seeds and
+worker counts, and agreement with the windowed attribution estimator.
+
+The determinism contract is byte-level: the canonical JSONL a traced
+episode writes must be identical whatever ``--jobs`` is, because each
+per-point file is produced wholly by one deterministic run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.analysis.attribution import analyze_run
+from repro.analysis.causality import analyze_trace, compare_with_attribution
+from repro.experiments.base import (
+    DEFAULT_SEED,
+    mesh100_config,
+    small_mesh_config,
+)
+from repro.experiments.parallel import execute_sweep
+from repro.trace import MemorySink, Tracer, parse_jsonl
+from repro.workload.pulses import PulseSchedule
+from repro.workload.scenarios import Scenario
+
+PULSES = (0, 1, 2)
+
+
+def _trace_files(trace_dir: pathlib.Path):
+    return sorted(trace_dir.glob("point_*.jsonl"))
+
+
+@pytest.mark.parametrize("seed", [0, 7])
+def test_trace_jsonl_byte_identical_jobs_1_vs_2(tmp_path, seed):
+    config = small_mesh_config(seed=seed)
+    dirs = {}
+    outcomes = {}
+    for jobs in (1, 2):
+        trace_dir = tmp_path / f"jobs{jobs}"
+        outcomes[jobs] = execute_sweep(
+            config, PULSES, jobs=jobs, trace_dir=str(trace_dir)
+        )
+        dirs[jobs] = trace_dir
+
+    assert [o.digest for o in outcomes[1]] == [o.digest for o in outcomes[2]]
+    assert [o.trace_digest for o in outcomes[1]] == [o.trace_digest for o in outcomes[2]]
+
+    sequential = _trace_files(dirs[1])
+    parallel = _trace_files(dirs[2])
+    assert [p.name for p in sequential] == [p.name for p in parallel]
+    assert len(sequential) == len(PULSES)
+    for seq_file, par_file in zip(sequential, parallel):
+        assert seq_file.read_bytes() == par_file.read_bytes()
+
+
+def test_tracing_does_not_perturb_run_digests(tmp_path):
+    config = small_mesh_config(seed=3)
+    untraced = execute_sweep(config, PULSES, jobs=1)
+    traced = execute_sweep(config, PULSES, jobs=1, trace_dir=str(tmp_path / "t"))
+    assert [o.digest for o in untraced] == [o.digest for o in traced]
+    assert all(o.trace_digest is None for o in untraced)
+    assert all(o.trace_digest is not None for o in traced)
+
+
+def test_trace_files_parse_back_and_analyze(tmp_path):
+    outcomes = execute_sweep(
+        small_mesh_config(seed=7), (2,), jobs=1, trace_dir=str(tmp_path)
+    )
+    (trace_file,) = _trace_files(tmp_path)
+    records = parse_jsonl(trace_file.read_text(encoding="utf-8"))
+    assert records, "a two-pulse episode must emit records"
+    # Causes always precede effects.
+    for record in records:
+        if record.cause_id is not None:
+            assert record.cause_id < record.id
+    report = analyze_trace(records)
+    assert report.records_total == len(records)
+    assert report.counts_by_kind["flap"] == 4  # 2 pulses x (down + up)
+    assert outcomes[0].trace_digest is not None
+
+
+def test_causality_agrees_with_windowed_attribution_on_fig8_mesh100():
+    """Acceptance criterion: on the paper's fig8 full-damping mesh the
+    trace-exact secondary-charging share and attribution.py's windowed
+    estimate agree within one percentage point."""
+    scenario = Scenario(mesh100_config(seed=DEFAULT_SEED))
+    scenario.warm_up()
+    tracer = Tracer(MemorySink())
+    result = scenario.run(PulseSchedule.regular(3, 60.0), tracer=tracer)
+    tracer.close()
+
+    report = analyze_trace(tracer.records)
+    windowed = analyze_run(result)
+    comparison = compare_with_attribution(report, windowed.secondary_fraction)
+    assert comparison["difference"] <= 0.01
+    # Both observers count the same postponement events.
+    assert report.postponements_total == result.summary.secondary_charges
+    assert report.charges_total > 0
+    assert report.reuse_muffled == report.reuse_muffled_childless

@@ -1,0 +1,125 @@
+"""Unit tests for exact causal attribution over trace DAGs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.causality import (
+    CHARGE_CLASSES,
+    analyze_trace,
+    causal_chain,
+    compare_with_attribution,
+)
+from repro.trace import MemorySink, TraceRecord, Tracer
+
+
+def _rec(rid, kind, /, cause=None, **data):
+    return TraceRecord(id=rid, time=float(rid), kind=kind, cause_id=cause, data=data)
+
+
+def test_charge_classes_vocabulary():
+    assert CHARGE_CLASSES == ("origin-flap", "path-exploration", "secondary-charging")
+
+
+def test_empty_trace_yields_empty_report():
+    report = analyze_trace([])
+    assert report.records_total == 0
+    assert report.charges_total == 0
+    assert report.secondary_fraction == 0.0
+    assert report.secondary_charge_fraction == 0.0
+
+
+def test_flap_rooted_charges_split_by_update_kind():
+    records = [
+        _rec(1, "flap"),
+        _rec(2, "recv", cause=1),
+        _rec(3, "charge", cause=2, kind="withdrawal", charged=True),
+        _rec(4, "charge", cause=2, kind="attribute_change", charged=True),
+    ]
+    report = analyze_trace(records)
+    assert report.charges_by_class["origin-flap"] == 1
+    assert report.charges_by_class["path-exploration"] == 1
+    assert report.charges_by_class["secondary-charging"] == 0
+
+
+def test_reuse_rooted_charge_is_secondary_whatever_its_kind():
+    records = [
+        _rec(1, "reuse_expired", noisy=True),
+        _rec(2, "send", cause=1),
+        _rec(3, "recv", cause=2),
+        _rec(4, "charge", cause=3, kind="attribute_change", charged=True),
+    ]
+    report = analyze_trace(records)
+    assert report.charges_by_class["secondary-charging"] == 1
+    assert report.secondary_charge_fraction == 1.0
+
+
+def test_uncharged_charge_records_are_not_counted():
+    records = [
+        _rec(1, "flap"),
+        _rec(2, "charge", cause=1, charged=False),
+    ]
+    assert analyze_trace(records).charges_total == 0
+
+
+def test_postponement_classification_and_fraction():
+    records = [
+        _rec(1, "flap"),
+        _rec(2, "charge", cause=1, charged=True),
+        _rec(3, "reuse_postponed", cause=2),
+        _rec(4, "reuse_expired", noisy=True),
+        _rec(5, "charge", cause=4, charged=True),
+        _rec(6, "reuse_postponed", cause=5),
+        _rec(7, "reuse_postponed"),  # no cause: unattributed
+    ]
+    report = analyze_trace(records)
+    assert report.postponements_by_class == {"reuse": 1, "flap": 1, "unattributed": 1}
+    assert report.secondary_fraction == pytest.approx(1 / 3)
+
+
+def test_muffled_reuse_expiries_are_childless():
+    records = [
+        _rec(1, "reuse_expired", noisy=True),
+        _rec(2, "send", cause=1),
+        _rec(3, "reuse_expired", noisy=False),
+    ]
+    report = analyze_trace(records)
+    assert report.reuse_total == 2
+    assert report.reuse_noisy == 1
+    assert report.reuse_muffled == 1
+    assert report.reuse_muffled_childless == 1
+
+
+def test_compare_with_attribution_reports_gap():
+    records = [
+        _rec(1, "reuse_expired", noisy=True),
+        _rec(2, "charge", cause=1, charged=True),
+        _rec(3, "reuse_postponed", cause=2),
+    ]
+    report = analyze_trace(records)
+    comparison = compare_with_attribution(report, 0.9)
+    assert comparison["trace_secondary_fraction"] == 1.0
+    assert comparison["windowed_secondary_fraction"] == 0.9
+    assert comparison["difference"] == pytest.approx(0.1)
+
+
+def test_causal_chain_walks_root_first():
+    records = [
+        _rec(1, "flap"),
+        _rec(2, "send", cause=1),
+        _rec(3, "recv", cause=2),
+        _rec(4, "charge", cause=3, charged=True),
+    ]
+    chain = causal_chain(records, 4)
+    assert [record.id for record in chain] == [1, 2, 3, 4]
+    assert chain[0].kind == "flap"
+
+
+def test_analyze_trace_accepts_tracer_output():
+    tracer = Tracer(MemorySink())
+    flap = tracer.emit("flap", 0.0, pulse=0)
+    charge = tracer.emit("charge", 0.1, node="n1", cause=flap, charged=True)
+    tracer.emit("reuse_postponed", 0.1, node="n1", cause=charge)
+    report = analyze_trace(tracer.records)
+    assert report.records_total == 3
+    assert report.postponements_by_class["flap"] == 1

@@ -1,0 +1,100 @@
+"""Unit tests for the CI perf-regression gate (benchmarks/compare_perf.py).
+
+The script lives outside the package (benchmarks/ is not importable),
+so it is loaded via an importlib spec from its file path.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+_SCRIPT = (
+    pathlib.Path(__file__).resolve().parents[2] / "benchmarks" / "compare_perf.py"
+)
+
+
+@pytest.fixture(scope="module")
+def compare_perf():
+    spec = importlib.util.spec_from_file_location("compare_perf", _SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _perf_file(tmp_path, name, benchmarks):
+    path = tmp_path / name
+    path.write_text(
+        json.dumps({"schema": 1, "benchmarks": benchmarks}), encoding="utf-8"
+    )
+    return str(path)
+
+
+def test_identical_files_pass(compare_perf, tmp_path, capsys):
+    benchmarks = {"engine": {"seconds": 0.02}, "episode": {"seconds": 1.5}}
+    baseline = _perf_file(tmp_path, "base.json", benchmarks)
+    current = _perf_file(tmp_path, "cur.json", benchmarks)
+    assert compare_perf.main(["--baseline", baseline, "--current", current]) == 0
+    out = capsys.readouterr().out
+    assert "| engine |" in out
+    assert "ok" in out
+
+
+def test_injected_2x_slowdown_fails(compare_perf, tmp_path, capsys):
+    baseline = _perf_file(tmp_path, "base.json", {"engine": {"seconds": 0.02}})
+    current = _perf_file(tmp_path, "cur.json", {"engine": {"seconds": 0.04}})
+    assert compare_perf.main(["--baseline", baseline, "--current", current]) == 1
+    captured = capsys.readouterr()
+    assert "REGRESSION" in captured.out
+    assert "engine" in captured.err
+
+
+def test_threshold_is_respected(compare_perf, tmp_path):
+    baseline = _perf_file(tmp_path, "base.json", {"engine": {"seconds": 0.02}})
+    current = _perf_file(tmp_path, "cur.json", {"engine": {"seconds": 0.024}})
+    # 1.2x the baseline: inside the default 1.25x gate...
+    assert compare_perf.main(["--baseline", baseline, "--current", current]) == 0
+    # ...but outside a tightened one.
+    assert (
+        compare_perf.main(
+            ["--baseline", baseline, "--current", current, "--threshold", "1.1"]
+        )
+        == 1
+    )
+
+
+def test_new_and_removed_benchmarks_never_fail(compare_perf, tmp_path, capsys):
+    baseline = _perf_file(tmp_path, "base.json", {"old": {"seconds": 1.0}})
+    current = _perf_file(tmp_path, "cur.json", {"new": {"seconds": 1.0}})
+    assert compare_perf.main(["--baseline", baseline, "--current", current]) == 0
+    out = capsys.readouterr().out
+    assert "| new |" in out and "| old |" in out
+    assert "removed" in out
+
+
+def test_summary_file_receives_markdown_table(compare_perf, tmp_path):
+    benchmarks = {"engine": {"seconds": 0.02}}
+    baseline = _perf_file(tmp_path, "base.json", benchmarks)
+    current = _perf_file(tmp_path, "cur.json", benchmarks)
+    summary = tmp_path / "summary.md"
+    assert (
+        compare_perf.main(
+            ["--baseline", baseline, "--current", current, "--summary", str(summary)]
+        )
+        == 0
+    )
+    text = summary.read_text(encoding="utf-8")
+    assert text.startswith("### Perf gate")
+    assert "| engine |" in text
+
+
+def test_missing_baseline_is_a_distinct_error(compare_perf, tmp_path, capsys):
+    current = _perf_file(tmp_path, "cur.json", {"engine": {"seconds": 0.02}})
+    code = compare_perf.main(
+        ["--baseline", str(tmp_path / "absent.json"), "--current", current]
+    )
+    assert code == 2
+    assert "compare_perf:" in capsys.readouterr().err
