@@ -27,6 +27,7 @@ from repro.core.penalty import PenaltyState
 from repro.experiments.base import DEFAULT_SEED, mesh100_config, small_mesh_config
 from repro.experiments.parallel import execute_sweep
 from repro.sim.engine import Engine
+from repro.sim.timers import Timer
 from repro.trace import MemorySink, NullSink, PhaseProfiler, Tracer
 from repro.workload.pulses import PulseSchedule
 from repro.workload.scenarios import Scenario, WarmStateSnapshot
@@ -107,6 +108,99 @@ def test_perf_schedule_cancel_churn(benchmark):
     executed = benchmark(run)
     assert executed == 100
     _record_benchmark("engine_schedule_cancel_churn_10k", benchmark)
+
+
+def _timer_churn(audited: bool) -> int:
+    """Arm/cancel-heavy Timer workload: 200 handles, 10k reschedule or
+    cancel operations, then a drain that fires the survivors. Every
+    reschedule of an armed handle is a cancel+arm pair, so this hammers
+    exactly the transitions the timer audit hooks."""
+    engine = Engine()
+    audit = engine.enable_timer_audit() if audited else None
+    timers = [
+        Timer(engine, lambda: None, name=f"t{i}", actor=f"r{i % 10}", tag="bench")
+        for i in range(200)
+    ]
+    for i in range(10_000):
+        timer = timers[i % 200]
+        if i % 3 == 2:
+            timer.cancel()
+        else:
+            timer.reschedule(1.0 + float(i % 7))
+    executed = engine.run()
+    if audit is not None:
+        assert audit.verify() == []
+    return executed
+
+
+def test_perf_timer_churn_audit_cost():
+    """Timer churn with the audit off and on, worst case.
+
+    The disabled path (the default: one attribute read and a None test
+    per transition) is recorded as ``timer_churn_10k`` and gated across
+    PRs by the perf-baseline comparison, like every hot-path number —
+    that is where a hook that stops being free would show up. The
+    enabled path pays real bookkeeping per transition, and this
+    workload is nothing *but* transitions, so its cost is recorded with
+    a generous guard rather than the 5% gate (which lives at episode
+    level below, where the audit's cost has to vanish).
+    """
+    rounds = 5
+    plain_s = None
+    audited_s = None
+    for _ in range(rounds):
+        plain = _timed(lambda: _timer_churn(audited=False))
+        audited = _timed(lambda: _timer_churn(audited=True))
+        plain_s = plain if plain_s is None else min(plain_s, plain)
+        audited_s = audited if audited_s is None else min(audited_s, audited)
+
+    _record("timer_churn_10k", plain_s)
+    _record(
+        "timer_churn_10k_audited",
+        audited_s,
+        overhead_pct=round((audited_s / plain_s - 1.0) * 100, 2),
+    )
+    # Even on pure churn the audit is a dict probe and a counter per
+    # transition; 2x is far above its real cost but below any bug that
+    # would make auditing a long sweep unusable.
+    assert audited_s < plain_s * 2.0 + 0.001
+
+
+def test_perf_timer_audit_episode_overhead():
+    """An audited episode must time like a plain one — the tracer gate.
+
+    On a real workload timer transitions are a sliver of the event
+    count, so enabling the audit (let alone leaving it disabled) must
+    disappear into noise. Rounds alternate between the two modes so
+    host-load drift hits both equally; min-of-rounds plus the 5%
+    relative + 1ms absolute guard matches the trace no-op gate.
+    """
+
+    def audited_episode():
+        scenario = Scenario(small_mesh_config(seed=11))
+        audit = scenario.engine.enable_timer_audit()
+        scenario.warm_up()
+        result = scenario.run(PulseSchedule.regular(2, 60.0))
+        assert audit.verify() == []
+        return result
+
+    _small_episode()  # warm the topology cache outside the timed rounds
+    rounds = 9
+    plain_s = None
+    audited_s = None
+    for _ in range(rounds):
+        plain = _timed(_small_episode)
+        audited = _timed(audited_episode)
+        plain_s = plain if plain_s is None else min(plain_s, plain)
+        audited_s = audited if audited_s is None else min(audited_s, audited)
+
+    _record("timer_audit_episode_plain", plain_s)
+    _record(
+        "timer_audit_episode_audited",
+        audited_s,
+        overhead_pct=round((audited_s / plain_s - 1.0) * 100, 2),
+    )
+    assert audited_s < plain_s * 1.05 + 0.001
 
 
 def test_perf_penalty_charging(benchmark):

@@ -144,6 +144,22 @@ class MraiLimiter:
         """True when any peer still has deferred prefixes."""
         return any(self._dirty.values())
 
+    def cancel_all_timers(self) -> int:
+        """Disarm every pending MRAI timer; returns how many were pending.
+
+        Deferred prefixes stay recorded, so a later :meth:`note_sent`
+        re-arms normally. This is the quiesce hook for session teardown
+        or limiter replacement — an armed timer surviving its limiter
+        would flush ``_dirty`` state nobody owns (timerlint TIM001's
+        runtime shape).
+        """
+        cancelled = 0
+        for timer in self._timers.values():
+            if timer.is_pending:
+                timer.cancel()
+                cancelled += 1
+        return cancelled
+
     def _expired(self, peer: str) -> None:
         dirty = self._dirty.pop(peer, set())
         if not dirty:

@@ -443,7 +443,12 @@ class BgpRouter(Node):
         "every node learns a stable route" precondition). RIB contents,
         the RCN history, and protocol counters are preserved.
         """
-        if self.config.damping is not None:
+        if self.config.damping is not None and self.damping is not None:
+            # Quiesce the old manager first: its armed reuse timers would
+            # otherwise keep firing into the discarded instance (TIM001's
+            # runtime shape; scenarios call this post-drain, but the reset
+            # must be safe mid-flight too).
+            self.damping.cancel_all_timers()
             self.damping = DampingManager(
                 self.engine, self.config.damping, self.name, self._on_reuse
             )

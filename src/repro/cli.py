@@ -137,6 +137,15 @@ def _build_parser() -> argparse.ArgumentParser:
             "drain) and fail on any violation"
         ),
     )
+    sim.add_argument(
+        "--audit-timers",
+        action="store_true",
+        help=(
+            "attach the runtime timer audit (arm/cancel/fire accounting "
+            "per handle) and fail on any lifecycle violation — leaked "
+            "armed timers, double-arms, unmatched fires"
+        ),
+    )
 
     trace = sub.add_parser(
         "trace",
@@ -196,12 +205,14 @@ def _build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser(
         "lint",
-        help="run the detlint/semlint static-analysis passes",
+        help="run the detlint/semlint/timerlint static-analysis passes",
         description=(
-            "Check Python sources against the determinism (DET001..DET009) "
-            "and protocol-semantics (SEM001..SEM007) rule catalogues — see "
-            "docs/STATIC_ANALYSIS.md. Exits 0 when clean, 1 when findings "
-            "or parse errors remain, 2 on usage errors."
+            "Check Python sources against the determinism (DET001..DET010), "
+            "protocol-semantics (SEM001..SEM007), and timer-lifecycle "
+            "(TIM001..TIM010) rule catalogues — see docs/STATIC_ANALYSIS.md. "
+            "Exit-code contract (stable): 0 clean (no blocking findings per "
+            "--fail-on), 1 blocking findings or parse errors remain, 2 on "
+            "usage errors."
         ),
     )
     lint.add_argument(
@@ -220,12 +231,23 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument(
         "--pass",
-        choices=["det", "sem", "all"],
+        choices=["det", "sem", "tim", "all"],
         default="all",
         dest="lint_pass",
         help=(
             "which analysis pass to run: det (determinism), sem (protocol "
-            "semantics), or all (default)"
+            "semantics), tim (timer lifecycle), or all (default)"
+        ),
+    )
+    lint.add_argument(
+        "--fail-on",
+        choices=["error", "warning", "never"],
+        default="warning",
+        dest="fail_on",
+        help=(
+            "minimum severity that exits 1: 'warning' (default) fails on any "
+            "finding, 'error' ignores warnings, 'never' always exits 0 "
+            "(parse errors still fail regardless)"
         ),
     )
     lint.add_argument(
@@ -423,10 +445,26 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     config = _adhoc_config(args)
     topology = config.topology
     scenario = Scenario(config)
+    audit = scenario.engine.enable_timer_audit() if args.audit_timers else None
     scenario.warm_up()
     result = scenario.run(PulseSchedule.regular(args.pulses, args.interval))
     invariant_rows: List[List[object]] = []
     invariant_failures: List[str] = []
+    audit_failures: List[str] = []
+    if audit is not None:
+        violations = audit.verify()
+        invariant_rows.append(
+            [
+                "timer audit",
+                f"ok ({audit.timers_seen} timers, {audit.transitions} transitions)"
+                if not violations
+                else f"{len(violations)} violation(s)",
+            ]
+        )
+        audit_failures = [
+            f"{v.kind} @ {v.time:.1f}s timer {v.timer}: {v.detail}"
+            for v in violations
+        ]
     if args.check_invariants:
         from repro.analysis.invariants import check_converged_invariants
 
@@ -458,9 +496,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     ]
     rows.extend(invariant_rows)
     print(render_table(headers, rows, title="simulation result"))
-    if invariant_failures:
-        for failure in invariant_failures:
-            print(f"invariant violation: {failure}", file=sys.stderr)
+    for failure in invariant_failures:
+        print(f"invariant violation: {failure}", file=sys.stderr)
+    for failure in audit_failures:
+        print(f"timer-audit violation: {failure}", file=sys.stderr)
+    if invariant_failures or audit_failures:
         return 1
     return 0
 
@@ -597,7 +637,11 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         report = apply_baseline(report, counts)
     renderer = render_json if args.output_format == "json" else render_text
     print(renderer(report))
-    return 0 if report.ok else 1
+    # Exit contract: parse errors always fail; findings fail per --fail-on
+    # ('warning' = any finding, 'error' = errors only, 'never' = report only).
+    if report.parse_errors:
+        return 1
+    return 1 if report.blocking_findings(args.fail_on) else 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:

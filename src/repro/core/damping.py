@@ -174,6 +174,22 @@ class DampingManager:
                 result.append((key, entry.timer.expiry))
         return result
 
+    def cancel_all_timers(self) -> int:
+        """Disarm every pending reuse timer; returns how many were pending.
+
+        Quiesces the manager before it is discarded or replaced (e.g.
+        :meth:`~repro.bgp.router.BgpRouter.reset_damping` between warm-up
+        and the measured episode). Without this, a replaced manager's
+        armed timers keep firing into state nobody reads — the runtime
+        shape of timerlint's TIM001 leak.
+        """
+        cancelled = 0
+        for entry in self._entries.values():
+            if entry.timer is not None and entry.timer.is_pending:
+                entry.timer.cancel()
+                cancelled += 1
+        return cancelled
+
     # ------------------------------------------------------------------
     # update processing
     # ------------------------------------------------------------------

@@ -1,4 +1,4 @@
-"""Static analysis for the reproduction: detlint + semlint.
+"""Static analysis for the reproduction: detlint + semlint + timerlint.
 
 The paper's headline effects (secondary charging, muffling, the ``Nh``
 crossover) are timer-interaction effects, so the reproduction is only
@@ -14,8 +14,13 @@ conventions into machine-checked invariants:
   in :mod:`repro.lint.effects`), timer scheduling through the Engine/
   Timer APIs, named penalty constants, monotonic RCN sequence checks,
   metrics-visible RIB mutations.
+* **timerlint** (``TIM0xx``, :mod:`repro.lint.timers`) — timer
+  lifecycle and timer interaction: an abstract interpreter over timer
+  handles (leaks, double-arm, re-arm-after-cancel) plus discipline at
+  arming/construction sites (charge-API bypass in callbacks, raw delay
+  literals, engine-boundary bypass, race labels, unclamped delays).
 
-Both passes share one rule framework (:mod:`repro.lint.framework`), a
+All passes share one rule framework (:mod:`repro.lint.framework`), a
 driver with construct-scoped ``# detlint: disable=...`` suppressions and
 ``--baseline`` support (:mod:`repro.lint.runner`,
 :mod:`repro.lint.baseline`), and text/JSON reporters
@@ -23,10 +28,11 @@ driver with construct-scoped ``# detlint: disable=...`` suppressions and
 
 Run it as ``rfd-repro lint --pass all src/``; the tier-1 suite gates the
 whole tree through :func:`lint_paths`. The complementary *runtime*
-checks — the engine's schedule-race detector and the converged-state
-invariant oracle — live in :mod:`repro.sim.engine` and
-:mod:`repro.analysis.invariants`; see ``docs/STATIC_ANALYSIS.md`` for
-the full catalogue.
+checks — the engine's schedule-race detector, the converged-state
+invariant oracle, and the opt-in timer audit — live in
+:mod:`repro.sim.engine`, :mod:`repro.analysis.invariants`, and
+:mod:`repro.sim.timers`; see ``docs/STATIC_ANALYSIS.md`` for the full
+catalogue.
 """
 
 from repro.lint.baseline import (
@@ -42,6 +48,7 @@ from repro.lint.framework import FileContext, Rule, all_rule_ids, iter_rules
 from repro.lint.reporters import render_json, render_rule_list, render_text
 from repro.lint.rules import RULE_IDS
 from repro.lint.runner import lint_paths, lint_source, parse_suppressions
+from repro.lint.timers import TimerAnalysis, analyze_timers
 
 __all__ = [
     "DEFAULT_PROTECTED_PACKAGES",
@@ -53,8 +60,10 @@ __all__ = [
     "LintReport",
     "RULE_IDS",
     "Rule",
+    "TimerAnalysis",
     "all_rule_ids",
     "analyze_effects",
+    "analyze_timers",
     "apply_baseline",
     "baseline_counts",
     "iter_rules",

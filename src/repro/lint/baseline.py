@@ -94,6 +94,7 @@ def apply_baseline(report: LintReport, counts: Dict[str, int]) -> LintReport:
                     line=finding.line,
                     col=finding.col,
                     end_line=finding.end_line,
+                    severity=finding.severity,
                     baselined=True,
                 )
             )

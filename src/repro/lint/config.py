@@ -1,11 +1,11 @@
-"""Configuration for a lint run (detlint + semlint).
+"""Configuration for a lint run (detlint + semlint + timerlint).
 
 :class:`LintConfig` selects which passes and rules run and tells
 path-scoped rules which packages they apply to: DET007's deterministic
-core, SEM001's decision-process modules, SEM002's timer substrate,
-SEM003's parameter module, and SEM007's damping module. The defaults
-match this repository's layout; tests construct narrower configs to
-exercise individual rules in isolation.
+core, SEM001's decision-process modules, SEM002's and the TIM rules'
+timer substrate, SEM003's parameter module, and SEM007's/TIM004's
+damping module. The defaults match this repository's layout; tests
+construct narrower configs to exercise individual rules in isolation.
 """
 
 from __future__ import annotations
@@ -46,8 +46,8 @@ DEFAULT_DAMPING_MODULES: Tuple[str, ...] = ("repro.core.damping",)
 #: deterministic sweep executor.
 DEFAULT_EXECUTOR_MODULES: Tuple[str, ...] = ("repro.experiments.parallel",)
 
-#: Analysis passes by rule-id prefix; ``--pass all`` selects both.
-KNOWN_PASSES: FrozenSet[str] = frozenset({"det", "sem"})
+#: Analysis passes by rule-id prefix; ``--pass all`` selects every one.
+KNOWN_PASSES: FrozenSet[str] = frozenset({"det", "sem", "tim"})
 
 
 def _module_in(module: Optional[str], packages: Tuple[str, ...]) -> bool:
@@ -70,8 +70,10 @@ class LintConfig:
         Rule ids excluded from the run (applied after ``select``).
     passes:
         Which analysis passes run: ``det`` (determinism), ``sem``
-        (protocol semantics), or both. A rule belongs to the pass its id
-        prefix spells (``DET005`` -> ``det``, ``SEM003`` -> ``sem``).
+        (protocol semantics), ``tim`` (timer lifecycle/interaction), or
+        any combination. A rule belongs to the pass its id prefix spells
+        (``DET005`` -> ``det``, ``SEM003`` -> ``sem``, ``TIM001`` ->
+        ``tim``).
     protected_packages:
         Dotted module prefixes in which DET007 forbids environment and
         filesystem access.
@@ -148,13 +150,13 @@ class LintConfig:
 def make_config(
     select: Tuple[str, ...] = (),
     ignore: Tuple[str, ...] = (),
-    passes: Tuple[str, ...] = ("det", "sem"),
+    passes: Tuple[str, ...] = ("det", "sem", "tim"),
     protected_packages: Tuple[str, ...] = DEFAULT_PROTECTED_PACKAGES,
 ) -> LintConfig:
     """Convenience constructor used by the CLI (tuples in, frozensets out).
 
     ``passes`` accepts the CLI's ``--pass`` vocabulary: ``det``, ``sem``,
-    or ``all`` (expanded to both).
+    ``tim``, or ``all`` (expanded to every known pass).
     """
     expanded = set()
     for name in passes:

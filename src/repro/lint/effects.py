@@ -1,4 +1,5 @@
-"""Intra-file call-graph and effect inference for the semlint pass.
+"""Intra-file call-graph and effect inference for the semlint and
+timerlint passes.
 
 Protocol-semantics rules need to know *what a function does*, not just
 what tokens it contains. This module classifies every function (and
@@ -10,6 +11,12 @@ method) of one file into a set of effects:
     Schedules future work — ``Engine.schedule``/``schedule_at``,
     ``call_soon``, ``Timer`` arming methods, or an API known to arm
     timers internally (``DampingManager.record_update``).
+``cancels-timer``
+    Disarms scheduled work — ``Timer.cancel`` / ``ScheduledEvent.cancel``
+    (or ``cancel_all_timers``). The timerlint abstract interpreter uses
+    this label to keep its handle-state tracking sound across helper
+    calls: a callee that may cancel invalidates what the caller knows
+    about its pending timers.
 ``mutates-rib``
     Writes routing state — ``LocRib.set_route``, Adj-RIB ``apply``,
     ``record_announcement``/``record_withdrawal``.
@@ -40,11 +47,12 @@ from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
 #: Effect labels (the vocabulary of the classification).
 READS_CLOCK = "reads-clock"
 SCHEDULES_TIMER = "schedules-timer"
+CANCELS_TIMER = "cancels-timer"
 MUTATES_RIB = "mutates-rib"
 EMITS_UPDATE = "emits-update"
 
 ALL_EFFECTS: FrozenSet[str] = frozenset(
-    {READS_CLOCK, SCHEDULES_TIMER, MUTATES_RIB, EMITS_UPDATE}
+    {READS_CLOCK, SCHEDULES_TIMER, CANCELS_TIMER, MUTATES_RIB, EMITS_UPDATE}
 )
 
 #: Attribute names that denote simulated instants. Shared vocabulary of
@@ -77,6 +85,10 @@ ENGINE_RECEIVERS: FrozenSet[str] = frozenset({"engine", "_engine"})
 _SCHEDULING_METHODS: FrozenSet[str] = frozenset(
     {"schedule", "schedule_at", "call_soon", "reschedule", "restart_if_idle"}
 )
+
+#: Method names that disarm scheduled work regardless of receiver —
+#: ``cancel`` is timer/event vocabulary throughout this codebase.
+_CANCELLING_METHODS: FrozenSet[str] = frozenset({"cancel", "cancel_all_timers"})
 
 #: Method names that mutate routing state regardless of receiver.
 _RIB_MUTATORS: FrozenSet[str] = frozenset(
@@ -173,6 +185,8 @@ def _direct_effects_of_call(call: ast.Call) -> Set[str]:
         effects.add(SCHEDULES_TIMER)
     elif method == "start" and receiver is not None and "timer" in receiver.lower():
         effects.add(SCHEDULES_TIMER)
+    if method in _CANCELLING_METHODS:
+        effects.add(CANCELS_TIMER)
     if method in _RIB_MUTATORS:
         effects.add(MUTATES_RIB)
     elif method == "apply" and receiver is not None and (
@@ -315,6 +329,7 @@ def analyze_effects(tree: ast.AST) -> EffectAnalysis:
 
 __all__ = [
     "ALL_EFFECTS",
+    "CANCELS_TIMER",
     "EMITS_UPDATE",
     "ENGINE_RECEIVERS",
     "EffectAnalysis",

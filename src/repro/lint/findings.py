@@ -13,6 +13,12 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
 
+#: The severity vocabulary, in decreasing order of strictness. ``error``
+#: findings always gate (unless ``--fail-on never``); ``warning``
+#: findings gate only under the default ``--fail-on warning``.
+SEVERITIES: Tuple[str, ...] = ("error", "warning")
+
+
 @dataclass(frozen=True)
 class Finding:
     """One rule violation at a specific source location."""
@@ -25,6 +31,9 @@ class Finding:
     #: Last physical line of the flagged construct; suppression comments
     #: anywhere in ``line..end_line`` (continuation lines) are honoured.
     end_line: int = 0
+    #: ``error`` or ``warning`` — copied from the rule that produced the
+    #: finding and consumed by the ``--fail-on`` exit-code contract.
+    severity: str = "error"
     suppressed: bool = False
     #: True when the finding is silenced by a ``--baseline`` file rather
     #: than fixed; baselined findings do not fail the run.
@@ -58,6 +67,7 @@ class Finding:
             "line": self.line,
             "col": self.col,
             "end_line": self.end_line,
+            "severity": self.severity,
             "suppressed": self.suppressed,
             "baselined": self.baselined,
         }
@@ -83,6 +93,30 @@ class LintReport:
     @property
     def finding_count(self) -> int:
         return len(self.findings)
+
+    @property
+    def error_count(self) -> int:
+        return sum(1 for f in self.findings if f.severity == "error")
+
+    @property
+    def warning_count(self) -> int:
+        return sum(1 for f in self.findings if f.severity == "warning")
+
+    def blocking_findings(self, fail_on: str = "warning") -> List[Finding]:
+        """The findings that fail the run under a ``--fail-on`` threshold.
+
+        ``warning`` (the default, and the historical behaviour): every
+        active finding blocks. ``error``: only error-severity findings
+        block. ``never``: findings never block. Parse errors are not
+        findings and always fail the run — an unparseable file cannot be
+        certified clean — so callers must check :attr:`parse_errors`
+        separately.
+        """
+        if fail_on == "never":
+            return []
+        if fail_on == "error":
+            return [f for f in self.findings if f.severity == "error"]
+        return list(self.findings)
 
     def counts_by_rule(self) -> Dict[str, int]:
         """Active finding count per rule id, sorted by rule id."""

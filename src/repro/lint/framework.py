@@ -1,23 +1,31 @@
-"""The rule framework shared by the detlint and semlint passes.
+"""The rule framework shared by the detlint, semlint and timerlint passes.
 
 A :class:`Rule` inspects one file's AST through a :class:`FileContext`
 (parsed tree with parent links, import alias map, module name, config,
-lazily computed effect analysis) and yields
+lazily computed effect and timer-handle analyses) and yields
 :class:`~repro.lint.findings.Finding` rows. Rules register themselves
 into a global catalogue via :func:`register`; the id prefix (``DET`` /
-``SEM``) assigns each rule to an analysis pass. Suppression filtering
-happens in the runner, not here.
+``SEM`` / ``TIM``) assigns each rule to an analysis pass. Suppression
+filtering happens in the runner, not here.
+
+With three passes sharing one registry, a silent id collision would make
+a rule unreachable, so :func:`register` validates the id format and
+raises at import time when two rule classes claim the same id.
 """
 
 from __future__ import annotations
 
 import ast
+import re
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterator, List, Optional, Type
+from typing import TYPE_CHECKING, Dict, FrozenSet, Iterator, List, Optional, Type
 
 from repro.lint.config import LintConfig
 from repro.lint.effects import EffectAnalysis, analyze_effects
-from repro.lint.findings import Finding
+from repro.lint.findings import SEVERITIES, Finding
+
+if TYPE_CHECKING:
+    from repro.lint.timers import TimerAnalysis
 
 _PARENT_ATTR = "_detlint_parent"
 
@@ -39,6 +47,7 @@ class FileContext:
     #: Local name -> fully qualified name, built from import statements.
     aliases: Dict[str, str] = field(default_factory=dict)
     _effects: Optional[EffectAnalysis] = field(default=None, repr=False)
+    _timers: Optional["TimerAnalysis"] = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         self._link_parents()
@@ -72,6 +81,17 @@ class FileContext:
             self._effects = analyze_effects(self.tree)
         return self._effects
 
+    def timer_analysis(self) -> "TimerAnalysis":
+        """Timer-handle abstract interpretation of this file, computed on
+        first use and shared by the TIM001..TIM003 rules."""
+        if self._timers is None:
+            # Local import: repro.lint.timers subclasses Rule from this
+            # module, so a top-level import would be circular.
+            from repro.lint.timers import analyze_timers
+
+            self._timers = analyze_timers(self)
+        return self._timers
+
     def qualified_name(self, node: ast.AST) -> Optional[str]:
         """Resolve a ``Name``/``Attribute`` chain to a dotted name, expanding
         the leading segment through the file's import aliases."""
@@ -103,6 +123,7 @@ class FileContext:
             line=line,
             col=getattr(node, "col_offset", 0),
             end_line=end_line,
+            severity=rule.severity,
         )
 
 
@@ -123,6 +144,8 @@ class Rule:
     id: str = ""
     title: str = ""
     rationale: str = ""
+    #: ``error`` (default) or ``warning``; drives the ``--fail-on`` gate.
+    severity: str = "error"
 
     def check(self, context: FileContext) -> Iterator[Finding]:
         raise NotImplementedError
@@ -130,13 +153,36 @@ class Rule:
 
 _REGISTRY: Dict[str, Type[Rule]] = {}
 
+#: Pass prefix (three letters) + three-digit ordinal, e.g. ``TIM004``.
+_RULE_ID_FORMAT = re.compile(r"^[A-Z]{3}\d{3}$")
+
 
 def register(rule_class: Type[Rule]) -> Type[Rule]:
-    """Class decorator adding a rule to the global catalogue."""
+    """Class decorator adding a rule to the global catalogue.
+
+    Raises :class:`ValueError` at import time for a missing or malformed
+    id, an unknown severity, or an id another rule class already claimed
+    (within or across passes) — a collision would silently shadow one of
+    the two rules in ``--select``/``--ignore`` and the documentation gate.
+    """
     if not rule_class.id:
         raise ValueError(f"rule {rule_class.__name__} has no id")
-    if rule_class.id in _REGISTRY:
-        raise ValueError(f"duplicate rule id {rule_class.id}")
+    if not _RULE_ID_FORMAT.match(rule_class.id):
+        raise ValueError(
+            f"rule {rule_class.__name__} id {rule_class.id!r} does not match "
+            "the PREFIXnnn format (e.g. DET001, SEM003, TIM010)"
+        )
+    if rule_class.severity not in SEVERITIES:
+        raise ValueError(
+            f"rule {rule_class.__name__} severity {rule_class.severity!r} "
+            f"is not one of {SEVERITIES}"
+        )
+    existing = _REGISTRY.get(rule_class.id)
+    if existing is not None:
+        raise ValueError(
+            f"duplicate rule id {rule_class.id}: {rule_class.__name__} "
+            f"collides with already-registered {existing.__name__}"
+        )
     _REGISTRY[rule_class.id] = rule_class
     return rule_class
 

@@ -27,6 +27,11 @@ def render_text(report: LintReport) -> str:
     summary = (
         f"{report.finding_count} finding(s) in {report.files_checked} file(s)"
     )
+    if report.warning_count:
+        summary += (
+            f" ({report.error_count} error(s), "
+            f"{report.warning_count} warning(s))"
+        )
     if report.suppressed:
         summary += f", {len(report.suppressed)} suppressed"
     if report.baselined:
@@ -58,9 +63,10 @@ def render_json(report: LintReport) -> str:
 
 
 def render_rule_list() -> str:
-    """The ``--list-rules`` table: id, title, rationale."""
+    """The ``--list-rules`` table: id, severity, title, rationale."""
     lines: List[str] = []
     for rule in iter_rules():
-        lines.append(f"{rule.id}  {rule.title}")
+        marker = f" [{rule.severity}]" if rule.severity != "error" else ""
+        lines.append(f"{rule.id}{marker}  {rule.title}")
         lines.append(f"        {rule.rationale}")
     return "\n".join(lines)

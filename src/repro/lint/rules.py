@@ -633,8 +633,10 @@ class AdHocParallelismRule(Rule):
 # catalogue
 # ----------------------------------------------------------------------
 
-# Importing the semantics module registers the SEM pass; it lives in its
-# own file but shares this registry, so RULE_IDS spells both catalogues.
+# Importing the semantics and timers modules registers the SEM and TIM
+# passes; they live in their own files but share this registry, so
+# RULE_IDS spells all three catalogues.
 import repro.lint.semantics  # noqa: E402,F401  (registers SEM rules)
+import repro.lint.timers  # noqa: E402,F401  (registers TIM rules)
 
 RULE_IDS: Tuple[str, ...] = tuple(sorted(all_rule_ids()))

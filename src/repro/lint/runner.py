@@ -1,7 +1,8 @@
 """The lint driver: file discovery, parsing, suppression handling.
 
 :func:`lint_paths` is the entry point the CLI and the tier-1 hygiene gate
-share; it runs whichever passes (detlint / semlint) the config enables.
+share; it runs whichever passes (detlint / semlint / timerlint) the
+config enables.
 Suppression comments are construct-scoped::
 
     t = time.time()  # detlint: disable=DET001

@@ -14,7 +14,7 @@ reproducible.
 from repro.sim.engine import Engine, ScheduledEvent
 from repro.sim.events import EventRecord, EventTrace, ScheduleTie
 from repro.sim.rng import RngRegistry
-from repro.sim.timers import Timer, TimerState
+from repro.sim.timers import Timer, TimerAudit, TimerAuditViolation, TimerState
 
 __all__ = [
     "Engine",
@@ -24,5 +24,7 @@ __all__ = [
     "EventTrace",
     "RngRegistry",
     "Timer",
+    "TimerAudit",
+    "TimerAuditViolation",
     "TimerState",
 ]

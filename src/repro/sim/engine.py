@@ -19,10 +19,13 @@ re-arms, reuse-timer reschedules) cannot bloat the queue without bound.
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.sim.events import ScheduleTie
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.timers import TimerAudit
 
 TieObserver = Callable[[ScheduleTie], None]
 
@@ -167,6 +170,10 @@ class Engine:
         self._instant_time: Optional[float] = None
         self._instant_actors: Dict[str, Tuple[int, Optional[str]]] = {}
         self._event_hook: Optional[EventHook] = None
+        #: Opt-in timer-lifecycle oracle (:class:`~repro.sim.timers.TimerAudit`);
+        #: ``None`` keeps every :class:`~repro.sim.timers.Timer` hook on the
+        #: cheap disabled path (one attribute read + ``is None`` test).
+        self._timer_audit: Optional["TimerAudit"] = None
         #: True when the run loops must route through :meth:`_execute`
         #: (tie detection or an event hook); kept as one precomputed flag
         #: so the hot path stays a single attribute test.
@@ -305,6 +312,28 @@ class Engine:
         uninstrumented fast dispatch path."""
         self._event_hook = hook
         self._instrumented = self._detect_ties or hook is not None
+
+    @property
+    def timer_audit(self) -> Optional["TimerAudit"]:
+        """The attached timer-lifecycle oracle, or ``None`` when disabled."""
+        return self._timer_audit
+
+    def enable_timer_audit(self) -> "TimerAudit":
+        """Attach (or return the existing) :class:`~repro.sim.timers.TimerAudit`.
+
+        Once attached, every :class:`~repro.sim.timers.Timer` bound to this
+        engine reports its arm/cancel/fire transitions to the audit;
+        ``audit.verify()`` at simulation end asserts no timer leaked and
+        every fire matched an armed handle. Opt-in for the same reason as
+        tie detection: the disabled path must stay free for the hot loop.
+        """
+        if self._timer_audit is None:
+            # Imported lazily: repro.sim.timers imports this module at top
+            # level, so the reverse edge must not exist at import time.
+            from repro.sim.timers import TimerAudit
+
+            self._timer_audit = TimerAudit(self)
+        return self._timer_audit
 
     def add_tie_observer(self, observer: TieObserver) -> None:
         """Invoke ``observer`` with every :class:`ScheduleTie` as it is

@@ -257,6 +257,121 @@ def test_lint_update_baseline_requires_baseline_path(capsys):
     assert "--baseline" in capsys.readouterr().err
 
 
+# ----------------------------------------------------------------------
+# timerlint pass, --fail-on, timer audit
+# ----------------------------------------------------------------------
+
+
+TIMER_FIXTURE = (
+    "from repro.sim.timers import Timer\n"
+    "\n"
+    "DELAY = 5.0\n"
+    "\n"
+    "def leak(engine, cb):\n"
+    '    t = Timer(engine, cb, name="x", actor="r", tag="reuse")\n'
+    "    t.start(DELAY)\n"
+)
+
+#: Fires only warning-severity rules (TIM007).
+WARNING_FIXTURE = (
+    "from repro.sim.timers import Timer\n"
+    "\n"
+    "def build(engine, cb):\n"
+    '    return Timer(engine, cb, name="x")\n'
+)
+
+
+def test_lint_pass_tim_selection(capsys, tmp_path):
+    fixture = tmp_path / "timers.py"
+    fixture.write_text(MIXED_FIXTURE + "\n" + TIMER_FIXTURE, encoding="utf-8")
+
+    assert main(["lint", "--pass", "tim", str(fixture)]) == 1
+    out = capsys.readouterr().out
+    assert "TIM001" in out and "DET001" not in out and "SEM006" not in out
+
+    assert main(["lint", "--pass", "all", str(fixture)]) == 1
+    out = capsys.readouterr().out
+    assert "TIM001" in out and "DET001" in out and "SEM006" in out
+
+
+def test_lint_list_rules_includes_tim_catalogue(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    assert "TIM001" in out and "TIM010" in out
+    assert "TIM003 [warning]" in out
+
+
+def test_lint_fail_on_exit_codes(capsys, tmp_path):
+    errors = tmp_path / "errors.py"
+    errors.write_text(TIMER_FIXTURE, encoding="utf-8")
+    warnings = tmp_path / "warnings.py"
+    warnings.write_text(WARNING_FIXTURE, encoding="utf-8")
+
+    # Default --fail-on warning: any finding fails.
+    assert main(["lint", str(warnings)]) == 1
+    capsys.readouterr()
+
+    # --fail-on error: warning-only findings are reported but exit 0.
+    assert main(["lint", "--fail-on", "error", str(warnings)]) == 0
+    out = capsys.readouterr().out
+    assert "TIM007" in out
+
+    # ... while error findings still fail.
+    assert main(["lint", "--fail-on", "error", str(errors)]) == 1
+    capsys.readouterr()
+
+    # --fail-on never: findings never fail the run.
+    assert main(["lint", "--fail-on", "never", str(errors)]) == 0
+    capsys.readouterr()
+
+    # ... but parse errors always do.
+    broken = tmp_path / "broken.py"
+    broken.write_text("def oops(:\n", encoding="utf-8")
+    assert main(["lint", "--fail-on", "never", str(broken)]) == 1
+    capsys.readouterr()
+
+
+def test_lint_fail_on_bad_value_is_usage_error(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["lint", "--fail-on", "bogus", "src"])
+    assert excinfo.value.code == 2
+    capsys.readouterr()
+
+
+def test_lint_compare_against_empty_baseline(capsys, tmp_path):
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n", encoding="utf-8")
+    baseline = tmp_path / "empty-baseline.json"
+    assert (
+        main(["lint", "--baseline", str(baseline), "--update-baseline", str(clean)])
+        == 0
+    )
+    capsys.readouterr()
+
+    # An empty ledger demotes nothing: new findings still fail.
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text(TIMER_FIXTURE, encoding="utf-8")
+    assert main(["lint", "--baseline", str(baseline), str(dirty)]) == 1
+    out = capsys.readouterr().out
+    assert "TIM001" in out and "baselined" not in out
+
+
+def test_simulate_audit_timers(capsys):
+    code = main(
+        [
+            "simulate",
+            "--nodes", "9",
+            "--pulses", "1",
+            "--seed", "11",
+            "--audit-timers",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "timer audit" in out
+    assert "ok (" in out and "transitions" in out
+
+
 def test_simulate_check_invariants(capsys):
     assert (
         main(

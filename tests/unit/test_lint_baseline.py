@@ -1,0 +1,143 @@
+"""Edge-case tests for lint baseline record/compare (``repro.lint.baseline``).
+
+The happy path (round-trip, demotion, excess-stays-active) lives in
+``test_lint_rules.py``; this file covers the corners that bite in real
+use: baseline entries whose file no longer exists, suppression
+directives sitting on a continuation line of a multi-line construct,
+and comparing against an empty baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.lint import (
+    apply_baseline,
+    baseline_counts,
+    lint_source,
+    parse_baseline,
+    render_baseline,
+)
+
+
+def report_for(source: str, path: str = "fixture.py"):
+    return lint_source(
+        textwrap.dedent(source), path=path, module="repro.sim.fixture"
+    )
+
+
+WALL_CLOCK = """
+    import time
+
+    def stamp():
+        return time.time()
+    """
+
+
+class TestDeletedFileEntries:
+    def test_stale_entry_for_deleted_file_is_ignored(self):
+        # The baseline froze findings for a file that has since been
+        # removed from the tree: applying it must neither crash nor
+        # resurrect the ghost findings.
+        report = report_for(WALL_CLOCK, path="kept.py")
+        stale_key = "deleted.py::DET001::wall-clock read"
+        filtered = apply_baseline(report, {stale_key: 3})
+        assert [f.path for f in filtered.findings] == ["kept.py"]
+        assert filtered.baselined == []
+        assert not filtered.ok  # the live finding still fails the run
+
+    def test_stale_entry_does_not_eat_other_files_budget(self):
+        # Budgets are per-key: a deleted file's count must not absorb a
+        # same-rule finding from a file that still exists.
+        report = report_for(WALL_CLOCK, path="kept.py")
+        live_key = report.findings[0].baseline_key
+        stale_key = live_key.replace("kept.py", "deleted.py")
+        assert stale_key != live_key
+        filtered = apply_baseline(report, {stale_key: 1})
+        assert len(filtered.findings) == 1
+        filtered = apply_baseline(report, {stale_key: 1, live_key: 1})
+        assert filtered.findings == []
+        assert len(filtered.baselined) == 1
+
+
+class TestContinuationLineSuppressions:
+    SOURCE = """
+        import time
+
+        def stamps():
+            return (
+                time.time(),  # detlint: disable=DET001
+                1.0,
+            )
+        """
+
+    def test_directive_on_continuation_line_suppresses(self):
+        # The finding anchors at the call's first line, but the directive
+        # sits on a later physical line of the same construct; the
+        # construct-scoped window must still cover it.
+        report = report_for(self.SOURCE)
+        assert report.findings == []
+        assert [f.rule_id for f in report.suppressed] == ["DET001"]
+
+    def test_suppressed_finding_never_reaches_the_baseline(self):
+        # render_baseline serialises *active* findings only, so a
+        # suppressed finding must not occupy a baseline budget slot.
+        report = report_for(self.SOURCE)
+        assert parse_baseline(render_baseline(report)) == {}
+
+    def test_baseline_key_unchanged_by_continuation_layout(self):
+        # Reflowing a construct across lines must not invalidate its
+        # baseline entry: keys are line-independent.
+        folded = report_for(
+            """
+            import time
+
+            def stamps():
+                return time.time()
+            """
+        )
+        spread = report_for(
+            """
+            import time
+
+            def stamps():
+                return (
+                    time
+                    .time()
+                )
+            """
+        )
+        assert baseline_counts(folded.findings) == baseline_counts(
+            spread.findings
+        )
+
+
+class TestEmptyBaseline:
+    def test_compare_against_empty_baseline_keeps_all_findings(self):
+        empty = parse_baseline(
+            json.dumps({"version": 1, "findings": {}})
+        )
+        assert empty == {}
+        report = report_for(WALL_CLOCK)
+        filtered = apply_baseline(report, empty)
+        assert len(filtered.findings) == len(report.findings) == 1
+        assert filtered.baselined == []
+        assert not filtered.ok
+
+    def test_empty_baseline_of_clean_tree_round_trips(self):
+        report = report_for(
+            """
+            def stamp(engine):
+                return engine.now
+            """
+        )
+        assert report.findings == []
+        assert parse_baseline(render_baseline(report)) == {}
+
+    def test_missing_findings_mapping_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="findings"):
+            parse_baseline(json.dumps({"version": 1}))

@@ -645,6 +645,8 @@ class TestFramework:
             {f"DET00{i}" for i in range(1, 10)}
             | {"DET010"}
             | {f"SEM00{i}" for i in range(1, 8)}
+            | {f"TIM00{i}" for i in range(1, 10)}
+            | {"TIM010"}
         )
         assert set(RULE_IDS) == expected
         assert all_rule_ids() == frozenset(expected)
@@ -856,6 +858,7 @@ _FINDING_SCHEMA = {
     "line": int,
     "col": int,
     "end_line": int,
+    "severity": str,
     "suppressed": bool,
     "baselined": bool,
 }

@@ -161,3 +161,90 @@ def test_rescheduled_timer_does_not_fire_at_original_expiry(engine):
     assert log == []
     engine.run()
     assert log == [5.0]
+
+
+# ----------------------------------------------------------------------
+# runtime timer audit
+# ----------------------------------------------------------------------
+
+
+class TestTimerAudit:
+    def test_disabled_by_default(self, engine):
+        assert engine.timer_audit is None
+        timer = Timer(engine, lambda: None, name="t")
+        timer.start(1.0)
+        timer.cancel()
+        engine.run()
+        assert engine.timer_audit is None
+
+    def test_enable_is_idempotent(self, engine):
+        audit = engine.enable_timer_audit()
+        assert engine.enable_timer_audit() is audit
+        assert engine.timer_audit is audit
+
+    def test_clean_lifecycle_has_no_violations(self, engine):
+        audit = engine.enable_timer_audit()
+        log = []
+        timer = make_timer(engine, log)
+        timer.start(5.0)
+        timer.reschedule(2.0)
+        other = Timer(engine, lambda: None, name="u")
+        other.start(1.0)
+        other.cancel()
+        engine.run()
+        assert log == [2.0]
+        assert audit.verify() == []
+        assert audit.pending_timers() == []
+        assert audit.timers_seen == 2
+        # t: arm, cancel+arm (reschedule), fire; u: arm, cancel.
+        assert audit.transitions == 6
+
+    def test_leak_when_event_cancelled_behind_timers_back(self, engine):
+        audit = engine.enable_timer_audit()
+        timer = Timer(engine, lambda: None, name="leaker")
+        timer.start(5.0)
+        timer._event.cancel()  # bypasses Timer.cancel(): the audit's leak
+        engine.run()
+        violations = audit.verify()
+        assert [v.kind for v in violations] == ["leak"]
+        assert violations[0].timer == "leaker"
+
+    def test_double_arm_when_start_guard_bypassed(self, engine):
+        audit = engine.enable_timer_audit()
+        timer = Timer(engine, lambda: None, name="doubler")
+        timer.start(5.0)
+        timer._arm(3.0)  # bypasses the start() already-pending guard
+        engine.run()
+        kinds = [v.kind for v in audit.verify()]
+        assert "double-arm" in kinds
+
+    def test_unmatched_fire_on_manual_fire(self, engine):
+        audit = engine.enable_timer_audit()
+        log = []
+        timer = make_timer(engine, log)
+        timer.start(5.0)
+        timer._fire()  # by hand: fires now, strands the scheduled event
+        engine.run()
+        kinds = [v.kind for v in audit.verify()]
+        assert "unmatched-fire" in kinds
+
+    def test_stopped_early_pending_timer_is_not_a_leak(self, engine):
+        audit = engine.enable_timer_audit()
+        timer = Timer(engine, lambda: None, name="pending")
+        timer.start(50.0)
+        engine.run(until=10.0)
+        assert audit.verify() == []
+        assert audit.pending_timers() == ["pending"]
+
+    def test_verify_is_repeatable_and_ordered(self, engine):
+        audit = engine.enable_timer_audit()
+        first = Timer(engine, lambda: None, name="a")
+        second = Timer(engine, lambda: None, name="b")
+        first.start(5.0)
+        second.start(5.0)
+        first._event.cancel()
+        second._event.cancel()
+        engine.run()
+        violations = audit.verify()
+        assert [v.timer for v in violations] == ["a", "b"]  # first-seen order
+        assert audit.verify() == violations
