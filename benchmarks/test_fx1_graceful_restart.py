@@ -1,0 +1,29 @@
+"""FX1 — router crash mid-episode: graceful restart vs hard reset.
+
+This is the figure-style comparison of crash-induced damping charges:
+the hard reset's withdrawal/re-announce burst is charged at every
+neighbour, while graceful restart retains the crashed peer's routes as
+stale and a clean return charges nothing.
+"""
+
+from bench_utils import run_once
+
+from repro.experiments.gr_faults import gr_faults_experiment
+
+
+def test_fx1_graceful_restart(benchmark, record_experiment):
+    result = run_once(benchmark, gr_faults_experiment)
+    record_experiment(result)
+    by_mode = {row[0]: row for row in result.rows}
+    baseline = by_mode["no crash (baseline)"]
+    hard = by_mode["hard reset"]
+    graceful = by_mode["graceful restart"]
+    # Columns: mode, messages, drops, suppressions, fault-induced,
+    # secondary, stale flushed, convergence.
+    assert baseline[4] == 0          # no crash, nothing fault-induced
+    assert hard[4] > 0               # the hard reset is charged
+    assert graceful[4] == 0          # GR suppresses the crash charges
+    assert graceful[5] < hard[5]     # and the secondary-charging echo
+    assert graceful[7] < hard[7]     # ... so convergence recovers too
+    for row in result.rows:
+        assert row[7] > 0

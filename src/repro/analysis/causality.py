@@ -33,9 +33,16 @@ from repro.trace.records import TraceRecord
 _ROOT_NONE = 0
 _ROOT_FLAP = 1
 _ROOT_REUSE = 2
+_ROOT_FAULT = 3
 
-#: Charge classification labels (Table-1 vocabulary).
-CHARGE_CLASSES = ("origin-flap", "path-exploration", "secondary-charging")
+#: Charge classification labels (Table-1 vocabulary plus the injected
+#: fault class introduced by the fault-injection subsystem).
+CHARGE_CLASSES = (
+    "origin-flap",
+    "path-exploration",
+    "secondary-charging",
+    "fault-induced",
+)
 
 
 @dataclass
@@ -50,7 +57,12 @@ class CausalityReport:
     )
     #: ``reuse_postponed`` records by root class of their charge.
     postponements_by_class: Dict[str, int] = field(
-        default_factory=lambda: {"reuse": 0, "flap": 0, "unattributed": 0}
+        default_factory=lambda: {
+            "reuse": 0,
+            "flap": 0,
+            "fault": 0,
+            "unattributed": 0,
+        }
     )
     reuse_total: int = 0
     reuse_noisy: int = 0
@@ -134,6 +146,8 @@ def analyze_trace(records: Sequence[TraceRecord]) -> CausalityReport:
             root_class[index] = _ROOT_FLAP
         elif record.kind == "reuse_expired":
             root_class[index] = _ROOT_REUSE
+        elif record.kind == "fault":
+            root_class[index] = _ROOT_FAULT
         else:
             root_class[index] = cause_class
 
@@ -144,6 +158,8 @@ def analyze_trace(records: Sequence[TraceRecord]) -> CausalityReport:
                 label = "reuse"
             elif cause_class == _ROOT_FLAP:
                 label = "flap"
+            elif cause_class == _ROOT_FAULT:
+                label = "fault"
             else:
                 label = "unattributed"
             report.postponements_by_class[label] += 1
@@ -164,6 +180,8 @@ def analyze_trace(records: Sequence[TraceRecord]) -> CausalityReport:
 def _charge_class(record: TraceRecord, cause_class: int) -> str:
     if cause_class == _ROOT_REUSE:
         return "secondary-charging"
+    if cause_class == _ROOT_FAULT:
+        return "fault-induced"
     if record.data.get("kind") == "attribute_change":
         return "path-exploration"
     return "origin-flap"

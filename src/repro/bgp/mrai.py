@@ -160,6 +160,22 @@ class MraiLimiter:
                 cancelled += 1
         return cancelled
 
+    def reset_peer(self, peer: str) -> None:
+        """Forget all MRAI state for ``peer``: disarm its timer and drop
+        any deferred prefixes.
+
+        Used when the session to ``peer`` is destroyed by a crash rather
+        than bounced: deferred prefixes belong to the dead session (a
+        restarted peer gets a full re-advertisement instead), so keeping
+        them — as :meth:`cancel_all_timers` deliberately does — would
+        replay stale deltas into the fresh session.
+        """
+        timer = self._timers.get(peer)
+        if timer is not None and timer.is_pending:
+            timer.cancel()
+        self._dirty.pop(peer, None)
+        self._defer_cause.pop(peer, None)
+
     def _expired(self, peer: str) -> None:
         dirty = self._dirty.pop(peer, set())
         if not dirty:

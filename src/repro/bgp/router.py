@@ -31,6 +31,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 from repro.bgp.attrs import Route
 from repro.bgp.decision import select_best
+from repro.bgp.graceful_restart import GracefulRestartConfig, GracefulRestartHelper
 from repro.bgp.messages import UpdateMessage
 from repro.bgp.mrai import MraiConfig, MraiLimiter
 from repro.bgp.policy import RoutingPolicy, ShortestPathPolicy
@@ -72,6 +73,11 @@ class RouterConfig:
     #: the damping penalty. RFC 2439 leaves this to the implementation;
     #: off by default so topology maintenance does not look like flapping.
     charge_on_session_reset: bool = False
+    #: Graceful-restart capability this router advertises. When set, a
+    #: crash of this router puts its neighbours into RFC-4724 helper mode
+    #: (stale-route retention under a restart timer) instead of an
+    #: immediate withdrawal wave; ``None`` means crashes are hard resets.
+    graceful_restart: Optional[GracefulRestartConfig] = None
 
     @property
     def damping_enabled(self) -> bool:
@@ -90,6 +96,11 @@ class RouterStats:
     announcements_sent: int = 0
     withdrawals_sent: int = 0
     best_path_changes: int = 0
+    crashes: int = 0
+    restarts: int = 0
+    #: Stale routes withdrawn because a peer's graceful-restart timer
+    #: expired before the peer refreshed them.
+    stale_routes_flushed: int = 0
 
 
 class BgpRouter(Node):
@@ -128,8 +139,19 @@ class BgpRouter(Node):
         self.rcn_history = RootCauseHistory()
         self.selective_filter = SelectiveDampingFilter()
         self.mrai = MraiLimiter(engine, self.config.mrai, name, rng, self._mrai_flush)
+        #: Helper-side graceful-restart state for *crashed peers* (whether
+        #: GR applies is decided by the crashed peer's advertised config).
+        self.gr_helper = GracefulRestartHelper(engine, name, self._gr_stale_expired)
+        #: Peers currently crashed: no session exists, so exports are
+        #: withheld until the peer restarts and gets a full re-sync.
+        self._crashed_peers: Set[str] = set()
         #: Causal tracer observing this router (set by Tracer.attach).
         self.trace: Optional["Tracer"] = None
+
+    @property
+    def graceful_restart_config(self) -> Optional[GracefulRestartConfig]:
+        """The GR capability this router advertises to its neighbours."""
+        return self.config.graceful_restart
 
     # ------------------------------------------------------------------
     # table access
@@ -190,6 +212,13 @@ class BgpRouter(Node):
             self.stats.withdrawals_received += 1
         else:
             self.stats.announcements_received += 1
+
+        # A restarted peer refreshing a retained route clears its stale
+        # mark *before* classification: a same-path re-announcement then
+        # falls through to the DUPLICATE early-return below — no penalty
+        # charge, which is exactly graceful restart's damping benefit.
+        if self.gr_helper.helping(peer):
+            self.gr_helper.note_update(peer, update.prefix)
 
         # Receiver-side loop protection (sender-side split horizon should
         # already prevent this; drop defensively).
@@ -322,6 +351,8 @@ class BgpRouter(Node):
     def _sync_peer(self, peer: str, prefix: str) -> None:
         """Bring ``peer``'s Adj-RIB-Out in line with the Loc-RIB, sending
         a withdrawal immediately or an announcement through MRAI."""
+        if peer in self._crashed_peers:
+            return  # no session; the peer gets a full re-sync on restart
         desired = self._desired_announcement(peer, prefix)
         table = self.rib_out(peer)
         current = table.announced_route(prefix)
@@ -409,11 +440,21 @@ class BgpRouter(Node):
             self._session_down(neighbor)
 
     def _session_down(self, peer: str) -> None:
+        self._withdraw_peer_routes(peer, list(self.rib_in(peer).prefixes()))
+        # The peer's view of us is gone with the session.
+        self._rib_out[peer] = AdjRibOut(peer)
+
+    def _session_up(self, peer: str) -> None:
+        for prefix, _ in list(self.loc_rib):
+            self._sync_peer(peer, prefix)
+
+    def _withdraw_peer_routes(self, peer: str, prefixes: List[str]) -> None:
+        """Treat each of ``prefixes`` learned from ``peer`` as implicitly
+        withdrawn (session loss or graceful-restart stale expiry)."""
         table = self.rib_in(peer)
-        for prefix in table.prefixes():
+        for prefix in prefixes:
             entry = table.entry(prefix)
-            assert entry is not None
-            if entry.route is None:
+            if entry is None or entry.route is None:
                 continue
             kind = table.classify(prefix, None)
             table.apply(prefix, None, entry.root_cause)
@@ -424,12 +465,116 @@ class BgpRouter(Node):
             ):
                 self.damping.record_update(peer, prefix, kind)
             self._reselect(prefix, entry.root_cause)
-        # The peer's view of us is gone with the session.
+
+    # ------------------------------------------------------------------
+    # crash / restart life cycle (fault injection)
+    # ------------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Lose the control plane: RIBs, damping state, MRAI state, and
+        helper-mode state all die with the process. Locally originated
+        prefixes are remembered (they are configuration, not control
+        state) and re-announced on :meth:`restart`.
+
+        Called by :meth:`repro.net.network.Network.crash_router`, which
+        also notifies the neighbours; while crashed, the network drops
+        messages addressed to this router.
+        """
+        super().crash()
+        self.stats.crashes += 1
+        # Quiesce every timer this router owns before discarding the
+        # state behind it (armed timers surviving their owner are the
+        # runtime shape of timerlint TIM001).
+        for peer in self.neighbors:
+            self.mrai.reset_peer(peer)
+        if self.damping is not None:
+            self.damping.cancel_all_timers()
+        self.gr_helper.cancel_all_timers()
+        self._rib_in.clear()
+        self._rib_out.clear()
+        self.loc_rib = LocRib()
+        self._current_cause.clear()
+        self.rcn_history = RootCauseHistory()
+        self.selective_filter.clear()
+
+    def restart(self) -> None:
+        """Come back up with fresh control state and re-originate local
+        prefixes. Damping penalties did not survive the crash: a fresh
+        :class:`~repro.core.damping.DampingManager` replaces the dead one
+        (observers and tracer wiring carry over so metrics keep seeing
+        this router)."""
+        super().restart()
+        self.stats.restarts += 1
+        if self.config.damping is not None and self.damping is not None:
+            predecessor = self.damping
+            self.damping = DampingManager(
+                self.engine, self.config.damping, self.name, self._on_reuse
+            )
+            self.damping.adopt_observers(predecessor)
+        for prefix in sorted(self._originated):
+            self._reselect(prefix, None)
+
+    def on_peer_crash(
+        self, peer: str, graceful: Optional[GracefulRestartConfig] = None
+    ) -> None:
+        """The session to ``peer`` died with the peer's control plane.
+
+        Hard crash (``graceful is None``): identical to a session loss —
+        implicit withdrawal of everything learned from the peer. With
+        graceful restart, routes learned from the peer stay in the
+        Adj-RIB-In marked *stale* (still eligible for the decision
+        process) under the peer's restart timer; see
+        :mod:`repro.bgp.graceful_restart`.
+        """
+        self._crashed_peers.add(peer)
+        # Deferred MRAI deltas belong to the dead session; the restarted
+        # peer gets a full re-sync instead.
+        self.mrai.reset_peer(peer)
+        if graceful is None:
+            self._session_down(peer)
+            return
+        table = self.rib_in(peer)
+        prefixes = []
+        for prefix in table.prefixes():
+            entry = table.entry(prefix)
+            if entry is not None and entry.route is not None:
+                prefixes.append(prefix)
+        self.gr_helper.peer_crashed(
+            peer,
+            prefixes,
+            graceful,
+            trace_cause=self.trace.context if self.trace is not None else None,
+        )
+        # The peer's view of us died either way.
         self._rib_out[peer] = AdjRibOut(peer)
 
-    def _session_up(self, peer: str) -> None:
-        for prefix, _ in list(self.loc_rib):
-            self._sync_peer(peer, prefix)
+    def on_peer_restart(self, peer: str) -> None:
+        """``peer`` is back: re-establish the session and advertise our
+        current table. Stale routes (if we are a GR helper for the peer)
+        stay retained until refreshed or their restart timer expires."""
+        self._crashed_peers.discard(peer)
+        self._session_up(peer)
+
+    def _gr_stale_expired(
+        self, peer: str, prefixes: List[str], trace_cause: Optional[int]
+    ) -> None:
+        """The GR restart timer fired with routes still stale: flush them
+        as implicit withdrawals (charged per ``charge_on_session_reset``,
+        like any other session-loss withdrawal)."""
+        self.stats.stale_routes_flushed += len(prefixes)
+        trace = self.trace
+        if trace is not None:
+            rid = trace.emit(
+                "gr_expire",
+                self.engine.now,
+                node=self.name,
+                cause=trace_cause,
+                peer=peer,
+                prefixes=list(prefixes),
+            )
+            # The flush's withdrawals/charges descend from the expiry.
+            trace.set_context(rid)
+        self._withdraw_peer_routes(peer, prefixes)
 
     # ------------------------------------------------------------------
     # experiment support
@@ -475,6 +620,7 @@ class BgpRouter(Node):
         snapshot: Dict[str, object] = {
             "router": self.name,
             "time": now,
+            "alive": self.alive,
             "prefixes": {},
         }
         for p in sorted(prefixes):
@@ -487,6 +633,7 @@ class BgpRouter(Node):
                 rib_in[peer] = {
                     "path": entry.route.as_path if entry.route else None,
                     "ever_announced": entry.ever_announced,
+                    "stale": self.gr_helper.is_stale(peer, p),
                     "suppressed": (
                         self.damping.is_suppressed(peer, p)
                         if self.damping is not None

@@ -146,6 +146,113 @@ def _build_parser() -> argparse.ArgumentParser:
             "armed timers, double-arms, unmatched fires"
         ),
     )
+    sim.add_argument(
+        "--faults",
+        default=None,
+        metavar="PLAN.json",
+        help=(
+            "inject a deterministic fault plan (crashes, link failures, "
+            "lossy links) into the measured episode — see "
+            "docs/ROBUSTNESS.md and 'rfd-repro faults template'"
+        ),
+    )
+    sim.add_argument(
+        "--graceful-restart",
+        type=float,
+        default=None,
+        metavar="SECS",
+        dest="graceful_restart",
+        help=(
+            "give every router RFC-4724-style graceful restart with this "
+            "restart time: neighbours of a crashed router retain its "
+            "routes as stale instead of withdrawing them"
+        ),
+    )
+
+    faults = sub.add_parser(
+        "faults",
+        help="create, inspect, and run deterministic fault plans",
+        description=(
+            "Fault plans are JSON schedules of link failures, router "
+            "crashes (with optional graceful restart), session resets, "
+            "lossy links, and seeded flap storms. Same seed + same plan "
+            "replays to byte-identical digests, sequentially or under "
+            "--jobs N — see docs/ROBUSTNESS.md."
+        ),
+    )
+    faults_sub = faults.add_subparsers(dest="faults_command", required=True)
+
+    ftemplate = faults_sub.add_parser(
+        "template", help="write an example fault plan for a topology"
+    )
+    ftemplate.add_argument("--topology", choices=["mesh", "internet"], default="mesh")
+    ftemplate.add_argument("--nodes", type=int, default=25, help="topology size")
+    ftemplate.add_argument(
+        "--out", default=None, metavar="FILE", help="write here (default: stdout)"
+    )
+
+    fdescribe = faults_sub.add_parser(
+        "describe", help="validate a plan file and list its actions"
+    )
+    fdescribe.add_argument("plan", help="fault plan JSON file")
+
+    frun = faults_sub.add_parser(
+        "run", help="sweep pulse counts with a fault plan injected"
+    )
+    frun.add_argument("plan", help="fault plan JSON file")
+    frun.add_argument("--topology", choices=["mesh", "internet"], default="mesh")
+    frun.add_argument("--nodes", type=int, default=25, help="topology size")
+    frun.add_argument("--pulses", type=int, default=3, help="sweep 0..N pulses")
+    frun.add_argument("--interval", type=float, default=60.0, help="flap interval (s)")
+    frun.add_argument(
+        "--damping",
+        choices=["off", *VENDOR_PRESETS],
+        default="cisco",
+        help="damping parameter preset (or off)",
+    )
+    frun.add_argument("--rcn", action="store_true", help="enable RCN-enhanced damping")
+    frun.add_argument("--seed", type=int, default=42)
+    frun.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker processes: 1 = sequential (default), 0 = one per CPU; "
+            "digests are identical for every value"
+        ),
+    )
+    frun.add_argument(
+        "--graceful-restart",
+        type=float,
+        default=None,
+        metavar="SECS",
+        dest="graceful_restart",
+        help="give every router graceful restart with this restart time",
+    )
+    frun.add_argument(
+        "--check-invariants",
+        action="store_true",
+        help="run the converged-state invariant oracle after each episode",
+    )
+    frun.add_argument(
+        "--audit-timers",
+        action="store_true",
+        help="attach the runtime timer audit to each episode",
+    )
+    frun.add_argument(
+        "--point-timeout",
+        type=float,
+        default=None,
+        metavar="SECS",
+        help="wall-clock bound per sweep point when running with --jobs > 1",
+    )
+    frun.add_argument(
+        "--digest-out",
+        default=None,
+        metavar="FILE",
+        help="write the per-point run digests as JSON (determinism checks)",
+    )
 
     trace = sub.add_parser(
         "trace",
@@ -438,11 +545,40 @@ def _adhoc_config(args: argparse.Namespace) -> ScenarioConfig:
     )
 
 
+def _with_fault_options(
+    config: ScenarioConfig,
+    faults_path: Optional[str],
+    graceful_restart: Optional[float],
+) -> ScenarioConfig:
+    """Apply ``--faults`` / ``--graceful-restart`` to an ad-hoc config."""
+    from dataclasses import replace
+
+    if faults_path is not None:
+        from repro.faults import FaultPlan
+
+        config = replace(config, faults=FaultPlan.load(faults_path))
+    if graceful_restart is not None:
+        from repro.bgp.graceful_restart import GracefulRestartConfig
+
+        config = replace(
+            config,
+            graceful_restart=GracefulRestartConfig(restart_time=graceful_restart),
+        )
+    return config
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigurationError
     from repro.experiments.parallel import resolve_jobs
 
     resolve_jobs(args.jobs)
-    config = _adhoc_config(args)
+    try:
+        config = _with_fault_options(
+            _adhoc_config(args), args.faults, args.graceful_restart
+        )
+    except (ConfigurationError, OSError) as exc:
+        print(f"rfd-repro simulate: {exc}", file=sys.stderr)
+        return 2
     topology = config.topology
     scenario = Scenario(config)
     audit = scenario.engine.enable_timer_audit() if args.audit_timers else None
@@ -494,6 +630,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         ["noisy / silent reuses", f"{result.summary.noisy_reuses} / {result.summary.silent_reuses}"],
         ["secondary charges", result.summary.secondary_charges],
     ]
+    if scenario.fault_injector is not None:
+        rows.append(["fault actions fired", scenario.fault_injector.actions_fired])
+    if result.collector.drop_count:
+        rows.append(["messages dropped", result.collector.drop_count])
+        for reason, count in result.collector.drops_by_reason().items():
+            rows.append([f"  dropped: {reason}", count])
     rows.extend(invariant_rows)
     print(render_table(headers, rows, title="simulation result"))
     for failure in invariant_failures:
@@ -587,6 +729,174 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _template_plan(topology) -> "object":
+    """A runnable example plan built from a concrete topology: one
+    crash/restart, one link flap, one lossy window, one small storm."""
+    from repro.faults import (
+        FaultPlan,
+        FlapStorm,
+        LinkFault,
+        LinkImpairment,
+        RouterCrash,
+        SessionReset,
+    )
+
+    edges = topology.edges
+    # Crash a neighbour of the default ISP (nodes[0]) rather than the ISP
+    # itself: taking the origin's attachment point down just partitions
+    # the network, which makes a dull example.
+    victim = topology.neighbors(topology.nodes[0])[0]
+    return FaultPlan(
+        name=f"example-{topology.name}",
+        crashes=(RouterCrash(router=victim, at=150.0, down_for=30.0),),
+        link_faults=(
+            LinkFault(a=edges[0][0], b=edges[0][1], down_at=200.0, up_at=260.0),
+        ),
+        session_resets=(SessionReset(a=edges[1][0], b=edges[1][1], at=240.0),),
+        impairments=(
+            LinkImpairment(
+                a=edges[0][0],
+                b=edges[0][1],
+                start=60.0,
+                duration=120.0,
+                loss=0.05,
+                duplicate=0.02,
+                extra_jitter=0.5,
+            ),
+        ),
+        storms=(
+            FlapStorm(
+                name="storm0",
+                links=(tuple(edges[2]),),
+                start=300.0,
+                flaps=3,
+                min_interval=5.0,
+                max_interval=15.0,
+                down_time=2.0,
+            ),
+        ),
+    )
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigurationError
+    from repro.faults import FaultPlan
+
+    if args.faults_command == "template":
+        if args.topology == "mesh":
+            side = max(2, round(args.nodes ** 0.5))
+            topology = mesh_topology(side, side)
+        else:
+            topology = internet_topology(args.nodes, seed=7)
+        plan = _template_plan(topology)
+        document = plan.dumps()
+        if args.out is None:
+            print(document, end="")
+        else:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(document)
+            print(f"wrote example plan to {args.out}")
+        return 0
+
+    if args.faults_command == "describe":
+        try:
+            plan = FaultPlan.load(args.plan)
+        except (ConfigurationError, OSError) as exc:
+            print(f"rfd-repro faults: {exc}", file=sys.stderr)
+            return 2
+        rows: List[List[object]] = []
+        for fault in plan.link_faults:
+            window = f"down {fault.down_at:.0f}s" + (
+                f" .. up {fault.up_at:.0f}s" if fault.up_at is not None else " (stays down)"
+            )
+            rows.append(["link-fault", f"{fault.a}-{fault.b}", window])
+        for crash in plan.crashes:
+            window = f"crash {crash.at:.0f}s" + (
+                f" .. restart {crash.at + crash.down_for:.0f}s"
+                if crash.down_for is not None
+                else " (stays down)"
+            )
+            rows.append(["crash", crash.router, window])
+        for reset in plan.session_resets:
+            rows.append(["session-reset", f"{reset.a}-{reset.b}", f"at {reset.at:.0f}s"])
+        for imp in plan.impairments:
+            window = f"from {imp.start:.0f}s" + (
+                f" for {imp.duration:.0f}s" if imp.duration is not None else " (episode end)"
+            )
+            rows.append(
+                [
+                    "impairment",
+                    f"{imp.a}-{imp.b}",
+                    f"{window}: loss={imp.loss} dup={imp.duplicate} "
+                    f"jitter={imp.extra_jitter}",
+                ]
+            )
+        for storm in plan.storms:
+            rows.append(
+                [
+                    "storm",
+                    storm.name,
+                    f"{storm.flaps} flaps over {len(storm.links)} link(s) "
+                    f"from {storm.start:.0f}s (stream {storm.stream_name})",
+                ]
+            )
+        print(
+            render_table(
+                ["action", "target", "schedule"],
+                rows,
+                title=f"fault plan {plan.name!r} ({plan.action_count} action(s))",
+            )
+        )
+        return 0
+
+    # faults run
+    from repro.errors import SimulationError
+    from repro.experiments.parallel import execute_sweep
+
+    try:
+        config = _with_fault_options(
+            _adhoc_config(args), args.plan, args.graceful_restart
+        )
+        counts = list(range(0, args.pulses + 1))
+        outcomes = execute_sweep(
+            config,
+            counts,
+            flap_interval=args.interval,
+            jobs=args.jobs,
+            check_invariants=args.check_invariants,
+            audit_timers=args.audit_timers,
+            point_timeout=args.point_timeout,
+        )
+    except (ConfigurationError, SimulationError, OSError) as exc:
+        print(f"rfd-repro faults run: {exc}", file=sys.stderr)
+        return 1
+    rows = [
+        [
+            outcome.pulses,
+            outcome.message_count,
+            outcome.suppressions,
+            outcome.secondary_charges,
+            round(outcome.convergence_time, 1),
+            outcome.digest[:16],
+        ]
+        for outcome in outcomes
+    ]
+    print(
+        render_table(
+            ["pulses", "messages", "suppressions", "secondary", "convergence_s", "digest"],
+            rows,
+            title=f"fault sweep ({args.plan}, jobs={args.jobs})",
+        )
+    )
+    if args.digest_out is not None:
+        digests = {str(outcome.pulses): outcome.digest for outcome in outcomes}
+        with open(args.digest_out, "w", encoding="utf-8") as handle:
+            json.dump(digests, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote digests to {args.digest_out}")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.errors import ConfigurationError
     from repro.lint import (
@@ -664,6 +974,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_simulate(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "faults":
+        return _cmd_faults(args)
     if args.command == "lint":
         return _cmd_lint(args)
     return 1  # pragma: no cover - argparse enforces the choices

@@ -174,6 +174,24 @@ class DampingManager:
                 result.append((key, entry.timer.expiry))
         return result
 
+    def recharge_count(self) -> int:
+        """Total reuse-timer postponements recorded while suppressed —
+        this router's footprint of the paper's secondary charging."""
+        return sum(len(record.recharges) for record in self.suppressions)
+
+    def adopt_observers(self, predecessor: "DampingManager") -> None:
+        """Carry observer/tracer wiring over from the manager this one
+        replaces mid-episode.
+
+        A router crash destroys its damping *state* (penalties,
+        suppressions, reuse timers die with the control plane), but the
+        metrics collector and causal tracer attached to the predecessor
+        must keep observing the fresh instance — otherwise a restarted
+        router's suppressions would silently vanish from digests.
+        """
+        self.suppression_observers.extend(predecessor.suppression_observers)
+        self.trace = predecessor.trace
+
     def cancel_all_timers(self) -> int:
         """Disarm every pending reuse timer; returns how many were pending.
 

@@ -25,6 +25,23 @@ class TimerError(SimulationError):
     """A timer was started, cancelled, or fired in an invalid state."""
 
 
+class SimulationStalled(SimulationError):
+    """The engine detected no-progress: the event queue keeps producing
+    work without advancing virtual time (or past the event budget).
+
+    ``diagnostics`` carries a structured
+    :class:`repro.sim.watchdog.StallDiagnostics` snapshot — the clock,
+    event counts, a sample of the next pending events, and the
+    pending-timer inventory from the :class:`repro.sim.timers.TimerAudit`
+    when one is attached — so a wedged simulation fails with an
+    actionable inventory instead of hanging.
+    """
+
+    def __init__(self, message: str, diagnostics: object = None) -> None:
+        super().__init__(message)
+        self.diagnostics = diagnostics
+
+
 class TopologyError(ReproError):
     """A topology could not be constructed or violates an invariant."""
 

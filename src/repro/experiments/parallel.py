@@ -31,9 +31,10 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ConfigurationError, SimulationError
 from repro.metrics.digest import run_digest
@@ -96,18 +97,32 @@ def run_point_outcome(
     flap_interval: float = 60.0,
     check_invariants: bool = False,
     trace_path: Optional[str] = None,
+    audit_timers: bool = False,
 ) -> PointOutcome:
     """Run one regular-pulse episode on a warmed scenario and reduce it
     to a :class:`PointOutcome`.
 
     ``trace_path`` writes the episode's causal trace there as canonical
-    JSONL and records its digest on the outcome.
+    JSONL and records its digest on the outcome. ``audit_timers``
+    attaches the runtime timer audit for the episode and fails the point
+    on any lifecycle violation.
     """
     tracer: Optional[Tracer] = None
     if trace_path is not None:
         tracer = Tracer(JsonlSink(trace_path))
+    audit = scenario.engine.enable_timer_audit() if audit_timers else None
     result = scenario.run(PulseSchedule.regular(pulses, flap_interval), tracer=tracer)
     trace_digest = tracer.close() if tracer is not None else None
+    if audit is not None:
+        violations = audit.verify()
+        if violations:
+            details = "; ".join(
+                f"{v.kind} @ {v.time:.1f}s timer {v.timer}" for v in violations[:5]
+            )
+            raise SimulationError(
+                f"timer audit found {len(violations)} violation(s) at "
+                f"pulses={pulses}: {details}"
+            )
     if check_invariants:
         # Imported lazily: analysis.invariants imports workload.scenarios,
         # which sits below this module in the layering.
@@ -154,7 +169,7 @@ def _sweep_source(
 #: Installed once per worker by the pool initializer; spawn-context
 #: workers do not inherit parent module state, so everything a point
 #: needs is shipped explicitly.
-_WORKER_STATE: Optional[Tuple[SweepSource, float, bool, Optional[str]]] = None
+_WORKER_STATE: Optional[Tuple[SweepSource, float, bool, Optional[str], bool]] = None
 
 
 def _init_worker(
@@ -162,9 +177,10 @@ def _init_worker(
     flap_interval: float,
     check_invariants: bool,
     trace_dir: Optional[str],
+    audit_timers: bool = False,
 ) -> None:
     global _WORKER_STATE
-    _WORKER_STATE = (source, flap_interval, check_invariants, trace_dir)
+    _WORKER_STATE = (source, flap_interval, check_invariants, trace_dir, audit_timers)
 
 
 def _point_trace_path(trace_dir: str, index: int, pulses: int) -> str:
@@ -175,7 +191,7 @@ def _point_trace_path(trace_dir: str, index: int, pulses: int) -> str:
 def _worker_run_point(task: Tuple[int, int]) -> PointOutcome:
     if _WORKER_STATE is None:  # pragma: no cover - pool misuse guard
         raise SimulationError("sweep worker used before initialisation")
-    source, flap_interval, check_invariants, trace_dir = _WORKER_STATE
+    source, flap_interval, check_invariants, trace_dir, audit_timers = _WORKER_STATE
     index, pulses = task
     return run_point_outcome(
         _materialise(source),
@@ -187,12 +203,30 @@ def _worker_run_point(task: Tuple[int, int]) -> PointOutcome:
             if trace_dir is not None
             else None
         ),
+        audit_timers=audit_timers,
     )
 
 
 # ----------------------------------------------------------------------
 # executor
 # ----------------------------------------------------------------------
+
+
+def _salvage_completed(
+    futures: Dict[int, "Future[PointOutcome]"],
+    results: Dict[int, PointOutcome],
+) -> None:
+    """Harvest every future that finished successfully before the pool
+    broke, without blocking on the ones that did not."""
+    for index, future in futures.items():
+        if index in results or not future.done():
+            continue
+        try:
+            results[index] = future.result(timeout=0)
+        except BaseException:
+            # Broken-pool / cancelled / crashed futures are retried by
+            # the caller; only clean outcomes are worth keeping.
+            continue
 
 
 def execute_sweep(
@@ -204,6 +238,9 @@ def execute_sweep(
     check_invariants: bool = False,
     mp_start_method: str = "spawn",
     trace_dir: Optional[str] = None,
+    point_timeout: Optional[float] = None,
+    max_retries: int = 2,
+    audit_timers: bool = False,
 ) -> List[PointOutcome]:
     """Run one episode per pulse count, optionally across processes.
 
@@ -218,9 +255,31 @@ def execute_sweep(
     digest. Every per-point file is written wholly by whichever process
     ran that point, so the files — like the outcomes — are byte-identical
     between sequential and parallel execution.
+
+    The parallel path is hardened against *pool-level* failures — a
+    worker process dying (OOM killer, segfault) breaks the whole
+    executor, and a wedged worker would block forever:
+
+    * ``point_timeout`` bounds the wall-clock wait for each point once
+      the executor starts waiting on it (``None`` = wait forever);
+    * when the pool breaks or a point times out, every already-completed
+      outcome is salvaged and only the missing points are resubmitted to
+      a fresh pool, up to ``max_retries`` extra attempts.
+
+    Deterministic failures — an episode raising ``SimulationError``,
+    an invariant or timer-audit violation — are *not* retried: rerunning
+    the same seed reproduces them, so they propagate immediately.
+    Because every point is a pure function of ``(source, task)``,
+    salvage-and-retry cannot change results, only recover them.
     """
     counts = [int(p) for p in pulse_counts]
     worker_count = resolve_jobs(jobs)
+    if max_retries < 0:
+        raise ConfigurationError(f"max_retries must be >= 0, got {max_retries}")
+    if point_timeout is not None and point_timeout <= 0:
+        raise ConfigurationError(
+            f"point_timeout must be > 0 seconds, got {point_timeout}"
+        )
     if not counts:
         return []
     if trace_dir is not None:
@@ -239,20 +298,65 @@ def execute_sweep(
                     if trace_dir is not None
                     else None
                 ),
+                audit_timers=audit_timers,
             )
             for index, pulses in enumerate(counts)
         ]
 
     context = multiprocessing.get_context(mp_start_method)
-    with ProcessPoolExecutor(
-        max_workers=min(worker_count, len(counts)),
-        mp_context=context,
-        initializer=_init_worker,
-        initargs=(source, flap_interval, check_invariants, trace_dir),
-    ) as pool:
-        # map() yields results in submission order, so the sweep's output
-        # ordering is independent of worker completion order.
-        return list(pool.map(_worker_run_point, list(enumerate(counts))))
+    tasks = list(enumerate(counts))
+    results: Dict[int, PointOutcome] = {}
+    failures: List[str] = []
+    for attempt in range(max_retries + 1):
+        missing = [task for task in tasks if task[0] not in results]
+        if not missing:
+            break
+        pool = ProcessPoolExecutor(
+            max_workers=min(worker_count, len(missing)),
+            mp_context=context,
+            initializer=_init_worker,
+            initargs=(source, flap_interval, check_invariants, trace_dir, audit_timers),
+        )
+        futures: Dict[int, "Future[PointOutcome]"] = {}
+        try:
+            for task in missing:
+                futures[task[0]] = pool.submit(_worker_run_point, task)
+            # Collect in submission order so output ordering never depends
+            # on completion order.
+            for index, pulses in missing:
+                try:
+                    results[index] = futures[index].result(timeout=point_timeout)
+                except BrokenExecutor as exc:
+                    failures.append(
+                        f"attempt {attempt + 1}: pool broke at point "
+                        f"n={pulses} ({type(exc).__name__})"
+                    )
+                    break
+                except FutureTimeoutError:
+                    failures.append(
+                        f"attempt {attempt + 1}: point n={pulses} exceeded "
+                        f"{point_timeout}s"
+                    )
+                    break
+            else:
+                continue  # every missing point resolved; loop exits above
+            _salvage_completed(futures, results)
+        finally:
+            # Never rely on a blocking shutdown: a wedged worker would
+            # hang it forever. cancel_futures strands nothing we keep —
+            # unfinished points are resubmitted to the next pool.
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    still_missing = sorted(
+        pulses for index, pulses in tasks if index not in results
+    )
+    if still_missing:
+        raise SimulationError(
+            f"sweep lost {len(still_missing)} point(s) "
+            f"(pulses={still_missing}) after {max_retries + 1} attempt(s): "
+            + "; ".join(failures[-3:])
+        )
+    return [results[index] for index, _ in tasks]
 
 
 __all__ = [

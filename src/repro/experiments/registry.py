@@ -25,6 +25,7 @@ from repro.experiments.fig8_9 import fig8_experiment, fig9_experiment
 from repro.experiments.fig10 import fig10_experiment
 from repro.experiments.fig13_14 import fig13_experiment, fig14_experiment
 from repro.experiments.fig15 import fig15_experiment
+from repro.experiments.gr_faults import gr_faults_experiment
 from repro.experiments.table1 import table1_experiment
 
 #: Experiment id → zero-argument driver returning an ExperimentResult.
@@ -48,6 +49,7 @@ EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
     "X8": distance_profile_experiment,
     "X9": heterogeneous_params_experiment,
     "X10": isp_placement_experiment,
+    "FX1": gr_faults_experiment,
 }
 
 

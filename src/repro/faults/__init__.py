@@ -1,0 +1,33 @@
+"""Deterministic fault injection for robustness experiments.
+
+A :class:`~repro.faults.plan.FaultPlan` declares *what goes wrong and
+when* — link failures, router crashes (with or without graceful
+restart), administrative session resets, lossy/duplicating links, and
+seeded flap storms — as plain frozen data that serialises to JSON and
+hashes into the warm-state cache key. A
+:class:`~repro.faults.injector.FaultInjector` compiles the plan onto the
+event engine at episode start; every draw comes from a named
+:class:`~repro.sim.rng.RngRegistry` stream, so the same seed and the
+same plan replay to byte-identical metrics digests, sequentially or
+under ``--jobs N``.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    FaultPlan,
+    FlapStorm,
+    LinkFault,
+    LinkImpairment,
+    RouterCrash,
+    SessionReset,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "FlapStorm",
+    "LinkFault",
+    "LinkImpairment",
+    "RouterCrash",
+    "SessionReset",
+]

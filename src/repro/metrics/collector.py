@@ -35,11 +35,26 @@ class UpdateRecord:
     prefix: str = ""
 
 
+@dataclass(frozen=True)
+class DropRecord:
+    """One observed message drop (down link, loss impairment, dead node)."""
+
+    time: float
+    src: str
+    dst: str
+    reason: str
+    is_withdrawal: bool
+    prefix: str = ""
+
+
 class MetricsCollector:
     """Network-wide observation of one simulation episode."""
 
     def __init__(self) -> None:
         self.updates: List[UpdateRecord] = []
+        #: Every dropped message (lost, on a down link, or addressed to a
+        #: crashed node), in drop order.
+        self.drops: List[DropRecord] = []
         #: Time-ordered ``(time, delta, router, peer)`` suppression changes
         #: (+1 on suppress, -1 on reuse).
         self.suppression_changes: List[Tuple[float, int, str, str]] = []
@@ -47,6 +62,7 @@ class MetricsCollector:
         #: opt-in schedule-race detector (empty unless enabled).
         self.schedule_ties: List[ScheduleTie] = []
         self._routers: List[BgpRouter] = []
+        self._network: Optional[Network] = None
         self._attached = False
         self.attach_time: float = 0.0
 
@@ -59,8 +75,10 @@ class MetricsCollector:
         if self._attached:
             raise RuntimeError("collector already attached")
         self._attached = True
+        self._network = network
         self.attach_time = network.engine.now
         network.add_delivery_hook(self._on_delivery)
+        network.add_drop_hook(self._on_drop)
         if network.engine.tie_detection_enabled:
             network.engine.add_tie_observer(self.schedule_ties.append)
         for router in routers:
@@ -93,6 +111,22 @@ class MetricsCollector:
             )
         )
 
+    def _on_drop(self, message: Message, reason: str) -> None:
+        payload = message.payload
+        if not isinstance(payload, UpdateMessage):
+            return
+        assert self._network is not None  # hooks only exist after attach
+        self.drops.append(
+            DropRecord(
+                time=self._network.engine.now,
+                src=message.src,
+                dst=message.dst,
+                reason=reason,
+                is_withdrawal=payload.is_withdrawal,
+                prefix=payload.prefix,
+            )
+        )
+
     # ------------------------------------------------------------------
     # headline metrics
     # ------------------------------------------------------------------
@@ -101,6 +135,18 @@ class MetricsCollector:
     def message_count(self) -> int:
         """Total updates observed (the paper's message-count metric)."""
         return len(self.updates)
+
+    @property
+    def drop_count(self) -> int:
+        """Total update messages dropped during the episode."""
+        return len(self.drops)
+
+    def drops_by_reason(self) -> Dict[str, int]:
+        """Drop counts keyed by drop reason (sorted)."""
+        counts: Dict[str, int] = {}
+        for record in self.drops:
+            counts[record.reason] = counts.get(record.reason, 0) + 1
+        return dict(sorted(counts.items()))
 
     @property
     def update_times(self) -> List[float]:

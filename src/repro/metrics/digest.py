@@ -37,6 +37,14 @@ def collector_fingerprint_lines(collector: MetricsCollector) -> List[str]:
     for event in collector.reuse_events():
         noise = "noisy" if event.noisy else "silent"
         lines.append(f"R {_round_time(event.time)} {event.peer}:{event.prefix} {noise}")
+    # Drop lines only appear when something was dropped, so fault-free
+    # runs keep their historical digests byte-identical.
+    for drop in collector.drops:
+        kind = "W" if drop.is_withdrawal else "A"
+        lines.append(
+            f"D {_round_time(drop.time)} {drop.src}>{drop.dst} "
+            f"{drop.prefix} {kind} {drop.reason}"
+        )
     return lines
 
 

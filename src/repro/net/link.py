@@ -1,16 +1,25 @@
-"""Point-to-point links with delay and jitter.
+"""Point-to-point links with delay, jitter, and optional impairments.
 
 A link connects exactly two nodes and delivers messages in both
 directions. Delivery delay is ``base_delay`` plus a uniform jitter sample;
 per-direction FIFO ordering is enforced (a message never overtakes an
 earlier message in the same direction), matching TCP-based BGP sessions,
 where updates between two peers are strictly ordered.
+
+Fault injection can additionally impair a link (see
+:meth:`Link.set_impairment`): probabilistic message loss, duplication,
+and extra delivery jitter, all drawn from a dedicated
+``fault:link:<a>-<b>`` RNG stream so that un-impaired runs draw exactly
+the same base-jitter sequence whether or not the faults package is in
+play. Every dropped message — lost to an impairment, sent into a down
+link, or in flight when the link failed — is reported to the network's
+drop path instead of silently vanishing.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 from repro.errors import ConfigurationError, SimulationError
 from repro.net.message import Message
@@ -61,9 +70,21 @@ class Link:
         self.b = b
         self.config = config
         self._engine = engine
+        self._rng_registry = rng
         self._rng = rng.stream(f"link:{min(a, b)}-{max(a, b)}")
+        #: Lazily created when the link is first impaired, so un-impaired
+        #: links never register the stream (and never draw from it).
+        self._fault_rng = None
         self.up = True
         self.messages_carried = 0
+        #: Messages this link dropped (down at send, down in flight, or
+        #: lost to an active impairment) — the counterpart counter to
+        #: ``messages_carried``.
+        self.messages_dropped = 0
+        #: Active impairment probabilities / extra jitter; zero = clean.
+        self.loss_rate = 0.0
+        self.duplicate_rate = 0.0
+        self.extra_jitter = 0.0
         # Earliest time the next message in each direction may be
         # delivered, to preserve per-direction FIFO order.
         self._next_free: Dict[Tuple[str, str], float] = {}
@@ -71,6 +92,15 @@ class Link:
     @property
     def endpoints(self) -> Tuple[str, str]:
         return (self.a, self.b)
+
+    @property
+    def impaired(self) -> bool:
+        """True while any impairment (loss/duplication/jitter) is active."""
+        return (
+            self.loss_rate > 0.0
+            or self.duplicate_rate > 0.0
+            or self.extra_jitter > 0.0
+        )
 
     def other_end(self, node: str) -> str:
         """The endpoint opposite ``node``."""
@@ -84,36 +114,118 @@ class Link:
         """Mark the link up or down. Messages sent while down are dropped."""
         self.up = up
 
+    # ------------------------------------------------------------------
+    # impairments (fault injection)
+    # ------------------------------------------------------------------
+
+    def set_impairment(
+        self,
+        loss: float = 0.0,
+        duplicate: float = 0.0,
+        extra_jitter: float = 0.0,
+    ) -> None:
+        """Impair the link: per-message loss / duplication probability and
+        additional uniform delivery jitter in seconds.
+
+        All draws come from the link's dedicated ``fault:link:...`` RNG
+        stream, so enabling an impairment never perturbs the base jitter
+        sequence of other links (or of this link's un-impaired sends).
+        """
+        if not (0.0 <= loss <= 1.0):
+            raise ConfigurationError(f"loss must be in [0, 1], got {loss}")
+        if not (0.0 <= duplicate <= 1.0):
+            raise ConfigurationError(f"duplicate must be in [0, 1], got {duplicate}")
+        if extra_jitter < 0.0:
+            raise ConfigurationError(f"extra_jitter must be >= 0, got {extra_jitter}")
+        self.loss_rate = loss
+        self.duplicate_rate = duplicate
+        self.extra_jitter = extra_jitter
+        if self.impaired and self._fault_rng is None:
+            key = f"fault:link:{min(self.a, self.b)}-{max(self.a, self.b)}"
+            self._fault_rng = self._rng_registry.stream(key)
+
+    def clear_impairment(self) -> None:
+        """Restore clean delivery (keeps the fault stream's position)."""
+        self.loss_rate = 0.0
+        self.duplicate_rate = 0.0
+        self.extra_jitter = 0.0
+
+    # ------------------------------------------------------------------
+    # traffic
+    # ------------------------------------------------------------------
+
     def send(self, src: str, payload: object) -> Message:
         """Send ``payload`` from ``src`` to the other endpoint.
 
         Returns the in-flight :class:`Message`. If the link is down the
-        message is created but silently dropped (never delivered), which is
-        how a failed physical link behaves from the sender's perspective.
+        message is created but dropped (never delivered), which is how a
+        failed physical link behaves from the sender's perspective; the
+        drop is reported through the network's drop path.
         """
         dst = self.other_end(src)
         message = Message(src=src, dst=dst, payload=payload)
         message.sent_at = self._engine.now
         if not self.up:
+            self._drop(message, "link-down")
             return message
-        delay = self.config.base_delay + self._rng.uniform(0.0, self.config.jitter)
+        if self.impaired and self._apply_impairment(message):
+            return message
+        self._schedule_delivery(message, self._base_delay())
+        return message
+
+    def _base_delay(self) -> float:
+        return self.config.base_delay + self._rng.uniform(0.0, self.config.jitter)
+
+    def _apply_impairment(self, message: Message) -> bool:
+        """Run the impairment draws for one send. Returns ``True`` when
+        the message was consumed (lost); duplication schedules the extra
+        copy itself and returns ``False`` so the original still ships."""
+        rng = self._fault_rng
+        assert rng is not None  # set_impairment created it
+        if self.loss_rate > 0.0 and rng.random() < self.loss_rate:
+            self._drop(message, "loss")
+            return True
+        delay = self._base_delay()
+        if self.extra_jitter > 0.0:
+            delay += rng.uniform(0.0, self.extra_jitter)
+        self._schedule_delivery(message, delay)
+        if self.duplicate_rate > 0.0 and rng.random() < self.duplicate_rate:
+            copy = Message(src=message.src, dst=message.dst, payload=message.payload)
+            copy.sent_at = self._engine.now
+            copy.trace_id = message.trace_id
+            dup_delay = self._base_delay()
+            if self.extra_jitter > 0.0:
+                dup_delay += rng.uniform(0.0, self.extra_jitter)
+            self._schedule_delivery(copy, dup_delay)
+        return False
+
+    def _schedule_delivery(self, message: Message, delay: float) -> None:
         deliver_at = self._engine.now + delay
-        key = (src, dst)
+        key = (message.src, message.dst)
         floor = self._next_free.get(key, 0.0)
         if deliver_at < floor:
             deliver_at = floor
         self._next_free[key] = deliver_at
         self._engine.schedule_at(
-            deliver_at, lambda: self._deliver(message), actor=dst, tag="deliver"
+            deliver_at,
+            lambda: self._deliver(message),
+            actor=message.dst,
+            tag="deliver",
         )
-        return message
 
     def _deliver(self, message: Message) -> None:
         if not self.up:
-            return  # link failed while the message was in flight
+            # The link failed while the message was in flight; observable
+            # through the drop path rather than silently vanishing.
+            self._drop(message, "link-down-inflight")
+            return
         message.delivered_at = self._engine.now
         self.messages_carried += 1
         self._network.deliver(message)
+
+    def _drop(self, message: Message, reason: str) -> None:
+        self.messages_dropped += 1
+        self._network.note_drop(message, reason)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "up" if self.up else "down"

@@ -22,6 +22,11 @@ if TYPE_CHECKING:
 
 DeliveryHook = Callable[[Message], None]
 
+#: Observer of dropped messages: ``hook(message, reason)``. Reasons are
+#: short stable strings (``link-down``, ``link-down-inflight``, ``loss``,
+#: ``node-down``) consumed by metrics and traces.
+DropHook = Callable[[Message, str], None]
+
 
 def _link_key(a: str, b: str) -> Tuple[str, str]:
     return (a, b) if a <= b else (b, a)
@@ -37,7 +42,9 @@ class Network:
         self._links: Dict[Tuple[str, str], Link] = {}
         self._delivery_hooks: List[DeliveryHook] = []
         self._send_hooks: List[DeliveryHook] = []
+        self._drop_hooks: List[DropHook] = []
         self.messages_delivered = 0
+        self.messages_dropped = 0
         #: Causal tracer observing traffic (set by Tracer.attach).
         self.trace: Optional["Tracer"] = None
 
@@ -122,7 +129,9 @@ class Network:
         """Send ``payload`` over the direct link from ``src`` to ``dst``."""
         link = self.link(src, dst)
         message = link.send(src, payload)
-        if self.trace is not None:
+        # A send dropped inside the link (down / lossy) already recorded
+        # its own send record so the drop could name its cause.
+        if self.trace is not None and message.trace_id is None:
             self.trace.note_send(message, self.engine.now)
         for hook in self._send_hooks:
             hook(message)
@@ -130,12 +139,36 @@ class Network:
 
     def deliver(self, message: Message) -> None:
         """Called by links when a message arrives; dispatches to the node."""
+        node = self._nodes[message.dst]
+        if not node.alive:
+            # The destination crashed while the message was in flight:
+            # nothing is listening on the session any more.
+            self.note_drop(message, "node-down")
+            return
         self.messages_delivered += 1
         if self.trace is not None:
             self.trace.note_recv(message, self.engine.now)
         for hook in self._delivery_hooks:
             hook(message)
-        self._nodes[message.dst].handle_message(message)
+        node.handle_message(message)
+
+    def note_drop(self, message: Message, reason: str) -> None:
+        """Record a dropped message: counter, trace record, and hooks.
+
+        Called by links (down / impaired) and by :meth:`deliver` when the
+        destination node is crashed — every path a message can vanish on
+        funnels through here so losses stay observable.
+        """
+        self.messages_dropped += 1
+        if self.trace is not None:
+            if message.trace_id is None:
+                # Dropped before Network.send could record it (down or
+                # lossy link at send time): emit the send record first so
+                # the drop has a cause edge in the DAG.
+                self.trace.note_send(message, self.engine.now)
+            self.trace.note_drop(message, self.engine.now, reason)
+        for hook in self._drop_hooks:
+            hook(message, reason)
 
     def add_delivery_hook(self, hook: DeliveryHook) -> None:
         """Observe every delivered message (metrics, tracing)."""
@@ -144,6 +177,10 @@ class Network:
     def add_send_hook(self, hook: DeliveryHook) -> None:
         """Observe every sent message (including ones dropped by down links)."""
         self._send_hooks.append(hook)
+
+    def add_drop_hook(self, hook: DropHook) -> None:
+        """Observe every dropped message with its drop reason."""
+        self._drop_hooks.append(hook)
 
     def set_link_state(self, a: str, b: str, up: bool) -> None:
         """Fail or restore the link between ``a`` and ``b``.
@@ -159,6 +196,51 @@ class Network:
         link.set_up(up)
         self._nodes[a].on_link_state(b, up)
         self._nodes[b].on_link_state(a, up)
+
+    # ------------------------------------------------------------------
+    # node failure / recovery orchestration (fault injection)
+    # ------------------------------------------------------------------
+
+    def crash_router(self, name: str) -> None:
+        """Crash ``name``: the node loses its control state and every
+        neighbour is told the session died.
+
+        Neighbour notification carries the crashed node's graceful-restart
+        configuration (``None`` for a hard crash): GR-capable neighbours
+        retain the crashed peer's routes as *stale* under a restart timer
+        instead of withdrawing them (see
+        :mod:`repro.bgp.graceful_restart`). Messages in flight to the
+        crashed node are dropped on delivery with reason ``node-down``.
+        """
+        node = self.node(name)
+        if not node.alive:
+            raise SimulationError(f"cannot crash {name!r}: already down")
+        node.crash()
+        graceful = node.graceful_restart_config
+        for neighbor in node.neighbors:
+            self._nodes[neighbor].on_peer_crash(name, graceful)
+
+    def restart_router(self, name: str) -> None:
+        """Bring a crashed ``name`` back: the node restarts with empty
+        RIBs (re-originating its own prefixes) and every neighbour
+        re-establishes the session and re-advertises its table."""
+        node = self.node(name)
+        if node.alive:
+            raise SimulationError(f"cannot restart {name!r}: not crashed")
+        node.restart()
+        for neighbor in node.neighbors:
+            self._nodes[neighbor].on_peer_restart(name)
+
+    def reset_session(self, a: str, b: str) -> None:
+        """Bounce the BGP session between adjacent ``a`` and ``b`` without
+        touching the physical link: both ends see the session drop and
+        immediately re-establish (implicit withdrawal + re-advertisement),
+        the way an administrative ``clear bgp`` behaves."""
+        self.link(a, b)  # validates adjacency
+        self._nodes[a].on_link_state(b, False)
+        self._nodes[b].on_link_state(a, False)
+        self._nodes[a].on_link_state(b, True)
+        self._nodes[b].on_link_state(a, True)
 
     # ------------------------------------------------------------------
     # life cycle

@@ -23,6 +23,10 @@ class Node:
         self.name = name
         self._network: "Network" = None  # type: ignore[assignment]
         self._neighbors: List[str] = []
+        #: False while the node is crashed: the network drops messages
+        #: addressed to it instead of dispatching (see
+        #: :meth:`repro.net.network.Network.crash_router`).
+        self.alive = True
 
     @property
     def network(self) -> "Network":
@@ -58,6 +62,38 @@ class Node:
         Default: no-op. Routing protocols override this to tear down /
         re-establish the session (see
         :meth:`repro.bgp.router.BgpRouter.on_link_state`).
+        """
+
+    @property
+    def graceful_restart_config(self) -> object:
+        """This node's advertised graceful-restart capability (``None``
+        unless a protocol subclass overrides it)."""
+        return None
+
+    def crash(self) -> None:
+        """Take the node down (control state lost). Subclasses extend to
+        quiesce timers and drop protocol tables; called by
+        :meth:`repro.net.network.Network.crash_router`."""
+        self.alive = False
+
+    def restart(self) -> None:
+        """Bring a crashed node back with fresh control state."""
+        self.alive = True
+
+    def on_peer_crash(self, peer: str, graceful: object = None) -> None:
+        """Called when the directly connected ``peer`` crashes.
+
+        ``graceful`` is the crashed peer's graceful-restart configuration
+        (a :class:`repro.bgp.graceful_restart.GracefulRestartConfig`) or
+        ``None`` for a hard crash. Default: no-op; BGP routers override
+        to tear the session down or enter GR helper mode.
+        """
+
+    def on_peer_restart(self, peer: str) -> None:
+        """Called when the directly connected ``peer`` comes back up.
+
+        Default: no-op. BGP routers override to re-establish the session
+        and re-advertise their table.
         """
 
     def start(self) -> None:

@@ -26,6 +26,7 @@ from repro.sim.events import ScheduleTie
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.timers import TimerAudit
+    from repro.sim.watchdog import Watchdog
 
 TieObserver = Callable[[ScheduleTie], None]
 
@@ -174,6 +175,9 @@ class Engine:
         #: ``None`` keeps every :class:`~repro.sim.timers.Timer` hook on the
         #: cheap disabled path (one attribute read + ``is None`` test).
         self._timer_audit: Optional["TimerAudit"] = None
+        #: Opt-in no-progress detector (:class:`~repro.sim.watchdog.Watchdog`);
+        #: observes every executed event through the instrumented path.
+        self._watchdog: Optional["Watchdog"] = None
         #: True when the run loops must route through :meth:`_execute`
         #: (tie detection or an event hook); kept as one precomputed flag
         #: so the hot path stays a single attribute test.
@@ -311,7 +315,9 @@ class Engine:
         no hook and no tie detection the run loops keep the
         uninstrumented fast dispatch path."""
         self._event_hook = hook
-        self._instrumented = self._detect_ties or hook is not None
+        self._instrumented = (
+            self._detect_ties or hook is not None or self._watchdog is not None
+        )
 
     @property
     def timer_audit(self) -> Optional["TimerAudit"]:
@@ -334,6 +340,49 @@ class Engine:
 
             self._timer_audit = TimerAudit(self)
         return self._timer_audit
+
+    @property
+    def watchdog(self) -> Optional["Watchdog"]:
+        """The attached no-progress detector, or ``None`` when disabled."""
+        return self._watchdog
+
+    def enable_watchdog(
+        self, max_events_per_instant: Optional[int] = None
+    ) -> "Watchdog":
+        """Attach (or return the existing) :class:`~repro.sim.watchdog.Watchdog`.
+
+        Once attached, every executed event is observed; executing more
+        than ``max_events_per_instant`` events at one identical virtual
+        instant raises :class:`~repro.errors.SimulationStalled` with a
+        structured diagnostics snapshot (including the pending-timer
+        inventory when a :class:`~repro.sim.timers.TimerAudit` is also
+        attached). Opt-in because it forces the instrumented dispatch
+        path; fault-injection scenarios enable it automatically.
+        """
+        # Imported lazily: repro.sim.watchdog type-imports this module,
+        # and the runtime edge must not exist at import time.
+        from repro.sim.watchdog import Watchdog
+
+        if self._watchdog is None:
+            if max_events_per_instant is not None:
+                self._watchdog = Watchdog(self, max_events_per_instant)
+            else:
+                self._watchdog = Watchdog(self)
+            self._instrumented = True
+        elif max_events_per_instant is not None:
+            self._watchdog.max_events_per_instant = max_events_per_instant
+        return self._watchdog
+
+    def pending_summary(
+        self, limit: int = 8
+    ) -> List[Tuple[float, Optional[str], Optional[str]]]:
+        """The earliest live queue entries as ``(time, actor, tag)``
+        triples (diagnostics; at most ``limit`` entries)."""
+        live = sorted(
+            (entry for entry in self._queue if not entry[2].cancelled),
+            key=lambda entry: (entry[0], entry[1]),
+        )
+        return [(entry[0], entry[2].actor, entry[2].tag) for entry in live[:limit]]
 
     def add_tie_observer(self, observer: TieObserver) -> None:
         """Invoke ``observer`` with every :class:`ScheduleTie` as it is
@@ -379,6 +428,8 @@ class Engine:
         self._events_executed += 1
         if self._detect_ties:
             self._note_tie(event)
+        if self._watchdog is not None:
+            self._watchdog.observe(event)
         if self._event_hook is not None:
             self._event_hook(event)
         event.callback()
@@ -487,9 +538,15 @@ class Engine:
         finally:
             self._running = False
         if executed >= max_events:
-            raise SimulationError(
+            # Imported lazily: repro.sim.watchdog type-imports this module.
+            from repro.errors import SimulationStalled
+            from repro.sim.watchdog import stall_diagnostics
+
+            diagnostics = stall_diagnostics(self)
+            raise SimulationStalled(
                 f"simulation did not drain within {max_events} events "
-                f"(clock at {self._now:.1f}s)"
+                f"(clock at {self._now:.1f}s)\n" + diagnostics.describe(),
+                diagnostics=diagnostics,
             )
         return executed
 

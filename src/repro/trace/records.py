@@ -26,7 +26,8 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional
 
 #: Version stamped into exported trace files; bump on schema changes.
-TRACE_SCHEMA_VERSION = 1
+#: v2 added the fault-injection kinds (``fault``, ``drop``, ``gr_expire``).
+TRACE_SCHEMA_VERSION = 2
 
 #: The record kinds the instrumented components emit. ``data`` payloads
 #: are kind-specific; see ``docs/OBSERVABILITY.md`` for the field tables.
@@ -35,6 +36,7 @@ KNOWN_KINDS: FrozenSet[str] = frozenset(
         "flap",  # origin state change (the roots of the DAG)
         "send",  # update handed to a link
         "recv",  # update delivered to a router
+        "drop",  # message dropped (down link, loss impairment, dead node)
         "charge",  # damping manager accounted for one update
         "suppress",  # suppression interval started
         "reuse_set",  # reuse timer armed at suppression start
@@ -42,6 +44,8 @@ KNOWN_KINDS: FrozenSet[str] = frozenset(
         "reuse_expired",  # reuse timer fired (noisy or muffled)
         "mrai_flush",  # per-peer MRAI timer released deferred updates
         "select",  # decision process changed the Loc-RIB
+        "fault",  # injected fault action fired (roots, like flaps)
+        "gr_expire",  # graceful-restart stale timer flushed retained routes
     }
 )
 

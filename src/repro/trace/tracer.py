@@ -137,6 +137,22 @@ class Tracer:
         self.context = record_id
         return record_id
 
+    def note_drop(self, message: "Message", time: float, reason: str) -> int:
+        """Record a dropped message, caused by its ``send`` record (when
+        one exists), so losses are explicit edges in the DAG instead of
+        silently truncated branches."""
+        payload = message.payload
+        return self.emit(
+            "drop",
+            time,
+            node=message.dst,
+            cause=message.trace_id,
+            src=message.src,
+            prefix=getattr(payload, "prefix", None),
+            withdrawal=bool(getattr(payload, "is_withdrawal", False)),
+            reason=reason,
+        )
+
     # ------------------------------------------------------------------
     # engine hook
     # ------------------------------------------------------------------

@@ -30,6 +30,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Dict, Hashable, List, Mapping, Optional, Tuple
 
+from repro.bgp.graceful_restart import GracefulRestartConfig
 from repro.bgp.mrai import MraiConfig
 from repro.bgp.origin import OriginRouter
 from repro.bgp.policy import NoValleyPolicy, RoutingPolicy, ShortestPathPolicy
@@ -37,6 +38,7 @@ from repro.bgp.router import BgpRouter, RouterConfig
 from repro.core.intended import IntendedBehaviorModel
 from repro.core.params import DampingParams
 from repro.errors import ConfigurationError, SimulationError
+from repro.faults import FaultInjector, FaultPlan
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.convergence import ConvergenceSummary, summarize_convergence
 from repro.net.link import LinkConfig
@@ -81,6 +83,19 @@ class ScenarioConfig:
     #: ties touching the same router (see ``docs/STATIC_ANALYSIS.md``).
     #: Detection is passive — results are bit-identical either way.
     detect_schedule_ties: bool = False
+    #: Optional fault schedule injected into the measured episode
+    #: (crashes, link failures, lossy links — see ``docs/ROBUSTNESS.md``).
+    #: A non-empty plan also arms the engine watchdog.
+    faults: Optional["FaultPlan"] = None
+    #: Graceful-restart capability granted to every topology router:
+    #: ``None`` means crashes are handled as hard session resets;
+    #: otherwise neighbours retain a crashed peer's routes as stale
+    #: under this restart-timer configuration (RFC 4724 style).
+    graceful_restart: Optional[GracefulRestartConfig] = None
+    #: Whether a session loss's implicit withdrawals charge the damping
+    #: penalty (RFC 2439 leaves this to the implementation; the fault
+    #: experiments turn it on to measure crash-induced charging).
+    charge_on_session_reset: bool = False
 
     def __post_init__(self) -> None:
         if self.rcn and self.selective:
@@ -108,6 +123,17 @@ class ScenarioConfig:
             if self.damping is None:
                 raise ConfigurationError(
                     "damping_overrides require a base damping configuration"
+                )
+        if self.faults is not None:
+            unknown_routers = sorted(
+                name
+                for name in self.faults.routers()
+                if name != ORIGIN_NAME and name not in self.topology.graph
+            )
+            if unknown_routers:
+                raise ConfigurationError(
+                    f"fault plan references routers not in the topology: "
+                    f"{unknown_routers[:5]}"
                 )
 
     def with_damping(self, damping: Optional[DampingParams]) -> "ScenarioConfig":
@@ -173,6 +199,8 @@ class Scenario:
         self._build_routers()
         self.origin = self._build_origin()
         self.warmup_convergence: float = 0.0
+        #: Set by :meth:`run` when the config carries a fault plan.
+        self.fault_injector: Optional[FaultInjector] = None
         self._warmed_up = False
         self._ran = False
 
@@ -220,6 +248,8 @@ class Scenario:
                 selective_enabled=self.config.selective and name in damping_nodes,
                 attach_root_cause=True,
                 mrai=self.config.mrai,
+                graceful_restart=self.config.graceful_restart,
+                charge_on_session_reset=self.config.charge_on_session_reset,
             )
             router = BgpRouter(
                 name, self.engine, self.rng, policy=self.policy, config=router_config
@@ -324,6 +354,18 @@ class Scenario:
         self._wire_trace(trace)
 
         start = self.engine.now
+        if self.config.faults is not None and not self.config.faults.is_empty:
+            # Fault episodes can wedge (retractions chasing re-announcements
+            # at one instant), so arm the watchdog before injecting.
+            self.engine.enable_watchdog()
+            self.fault_injector = FaultInjector(
+                self.config.faults,
+                self.network,
+                self.rng,
+                tracer=tracer,
+                event_trace=trace,
+            )
+            self.fault_injector.install(start)
         for offset, status in schedule.events:
             self.engine.schedule_at(
                 start + offset,
@@ -581,4 +623,7 @@ def _config_cache_key(config: ScenarioConfig) -> Hashable:
         config.warmup_horizon,
         config.run_horizon,
         config.detect_schedule_ties,
+        config.faults,
+        config.graceful_restart,
+        config.charge_on_session_reset,
     )

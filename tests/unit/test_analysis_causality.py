@@ -18,7 +18,12 @@ def _rec(rid, kind, /, cause=None, **data):
 
 
 def test_charge_classes_vocabulary():
-    assert CHARGE_CLASSES == ("origin-flap", "path-exploration", "secondary-charging")
+    assert CHARGE_CLASSES == (
+        "origin-flap",
+        "path-exploration",
+        "secondary-charging",
+        "fault-induced",
+    )
 
 
 def test_empty_trace_yields_empty_report():
@@ -54,6 +59,30 @@ def test_reuse_rooted_charge_is_secondary_whatever_its_kind():
     assert report.secondary_charge_fraction == 1.0
 
 
+def test_fault_rooted_charge_is_fault_induced_whatever_its_kind():
+    records = [
+        _rec(1, "fault", action="crash", detail="r1"),
+        _rec(2, "send", cause=1),
+        _rec(3, "recv", cause=2),
+        _rec(4, "charge", cause=3, kind="withdrawal", charged=True),
+        _rec(5, "charge", cause=3, kind="attribute_change", charged=True),
+    ]
+    report = analyze_trace(records)
+    assert report.charges_by_class["fault-induced"] == 2
+    assert report.charges_by_class["origin-flap"] == 0
+    assert report.charges_by_class["path-exploration"] == 0
+
+
+def test_fault_rooted_postponement_counts_as_fault():
+    records = [
+        _rec(1, "fault", action="crash", detail="r1"),
+        _rec(2, "charge", cause=1, charged=True),
+        _rec(3, "reuse_postponed", cause=2),
+    ]
+    report = analyze_trace(records)
+    assert report.postponements_by_class["fault"] == 1
+
+
 def test_uncharged_charge_records_are_not_counted():
     records = [
         _rec(1, "flap"),
@@ -73,7 +102,12 @@ def test_postponement_classification_and_fraction():
         _rec(7, "reuse_postponed"),  # no cause: unattributed
     ]
     report = analyze_trace(records)
-    assert report.postponements_by_class == {"reuse": 1, "flap": 1, "unattributed": 1}
+    assert report.postponements_by_class == {
+        "reuse": 1,
+        "flap": 1,
+        "fault": 0,
+        "unattributed": 1,
+    }
     assert report.secondary_fraction == pytest.approx(1 / 3)
 
 

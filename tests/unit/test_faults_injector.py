@@ -1,0 +1,164 @@
+"""Unit tests for compiling fault plans onto the engine."""
+
+from __future__ import annotations
+
+from typing import List
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    FlapStorm,
+    LinkFault,
+    LinkImpairment,
+    RouterCrash,
+)
+from repro.net.message import Message
+from repro.net.network import Network
+from repro.net.node import Node
+from repro.sim.engine import Engine
+from repro.sim.rng import RngRegistry
+from repro.trace.tracer import MemorySink, Tracer
+
+
+class _Sink(Node):
+    """A node that just counts deliveries."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.received: List[Message] = []
+
+    def handle_message(self, message: Message) -> None:
+        self.received.append(message)
+
+
+def _triangle(engine: Engine, rng: RngRegistry) -> Network:
+    network = Network(engine, rng)
+    for name in ("n1", "n2", "n3"):
+        network.add_node(_Sink(name))
+    network.add_link("n1", "n2")
+    network.add_link("n2", "n3")
+    network.add_link("n1", "n3")
+    return network
+
+
+def test_validate_rejects_unknown_router(engine, rng):
+    network = _triangle(engine, rng)
+    plan = FaultPlan(crashes=(RouterCrash(router="ghost", at=1.0),))
+    injector = FaultInjector(plan, network, rng)
+    with pytest.raises(ConfigurationError, match="unknown router 'ghost'"):
+        injector.install()
+
+
+def test_validate_rejects_unknown_link(engine, rng):
+    network = _triangle(engine, rng)
+    plan = FaultPlan(link_faults=(LinkFault(a="n1", b="ghost", down_at=1.0),))
+    injector = FaultInjector(plan, network, rng)
+    with pytest.raises(ConfigurationError, match="unknown"):
+        injector.install()
+
+
+def test_double_install_rejected(engine, rng):
+    network = _triangle(engine, rng)
+    injector = FaultInjector(FaultPlan(), network, rng)
+    injector.install()
+    with pytest.raises(ConfigurationError, match="already installed"):
+        injector.install()
+
+
+def test_link_fault_fires_down_then_up(engine, rng):
+    network = _triangle(engine, rng)
+    plan = FaultPlan(
+        link_faults=(LinkFault(a="n1", b="n2", down_at=5.0, up_at=9.0),)
+    )
+    injector = FaultInjector(plan, network, rng)
+    assert injector.install() == 2
+    link = network.link("n1", "n2")
+    engine.run_until_idle(max_time=6.0)
+    assert not link.up
+    engine.run_until_idle(max_time=20.0)
+    assert link.up
+    assert [(action, detail) for _, action, detail in injector.fired] == [
+        ("link-down", "n1-n2"),
+        ("link-up", "n1-n2"),
+    ]
+
+
+def test_crash_and_restart_fire_and_toggle_alive(engine, rng):
+    network = _triangle(engine, rng)
+    plan = FaultPlan(crashes=(RouterCrash(router="n2", at=3.0, down_for=4.0),))
+    FaultInjector(plan, network, rng).install()
+    engine.run_until_idle(max_time=5.0)
+    assert not network.node("n2").alive
+    engine.run_until_idle(max_time=10.0)
+    assert network.node("n2").alive
+
+
+def test_install_rebases_on_start_time(engine, rng):
+    network = _triangle(engine, rng)
+    plan = FaultPlan(crashes=(RouterCrash(router="n1", at=2.0),))
+    injector = FaultInjector(plan, network, rng)
+    injector.install(start=100.0)
+    engine.run_until_idle(max_time=1_000.0)
+    assert injector.fired == [(102.0, "crash", "n1")]
+
+
+def test_impairment_window_sets_and_clears(engine, rng):
+    network = _triangle(engine, rng)
+    plan = FaultPlan(
+        impairments=(
+            LinkImpairment(a="n1", b="n2", start=1.0, duration=5.0, loss=0.5),
+        )
+    )
+    FaultInjector(plan, network, rng).install()
+    link = network.link("n1", "n2")
+    assert not link.impaired
+    engine.run_until_idle(max_time=2.0)
+    assert link.impaired
+    assert link.loss_rate == 0.5
+    engine.run_until_idle(max_time=10.0)
+    assert not link.impaired
+
+
+def test_storm_expansion_is_deterministic_and_isolated(engine, rng):
+    """The same seed expands a storm to the same schedule, and the
+    expansion draws only from the storm's named stream."""
+    storm = FlapStorm(
+        name="burst",
+        links=(("n1", "n2"), ("n2", "n3")),
+        start=0.0,
+        flaps=4,
+        min_interval=1.0,
+        max_interval=3.0,
+        down_time=0.5,
+    )
+    schedules = []
+    for _ in range(2):
+        eng = Engine()
+        reg = RngRegistry(777)
+        network = _triangle(eng, reg)
+        injector = FaultInjector(FaultPlan(storms=(storm,)), network, reg)
+        assert injector.install() == 8  # 4 flaps x (down + up)
+        eng.run_until_idle(max_time=1_000.0)
+        schedules.append(tuple(injector.fired))
+    assert schedules[0] == schedules[1]
+    # Draws come from the storm's own stream, not the protocol streams.
+    fresh = RngRegistry(777)
+    assert fresh.stream(storm.stream_name).uniform(1.0, 3.0) != fresh.stream(
+        "link:jitter"
+    ).uniform(1.0, 3.0)
+
+
+def test_fired_actions_emit_fault_trace_roots(engine, rng):
+    network = _triangle(engine, rng)
+    tracer = Tracer(MemorySink())
+    plan = FaultPlan(crashes=(RouterCrash(router="n3", at=1.0),))
+    FaultInjector(plan, network, rng, tracer=tracer).install()
+    engine.run_until_idle(max_time=5.0)
+    faults = [record for record in tracer.records if record.kind == "fault"]
+    assert len(faults) == 1
+    assert faults[0].cause_id is None  # DAG root, like a flap
+    assert faults[0].data["action"] == "crash"
+    assert faults[0].data["detail"] == "n3"

@@ -28,10 +28,14 @@ from repro.trace import (
 
 
 def test_schema_version_and_kinds():
-    assert TRACE_SCHEMA_VERSION == 1
+    # v2 added the fault-injection kinds: fault, drop, gr_expire.
+    assert TRACE_SCHEMA_VERSION == 2
     assert "charge" in KNOWN_KINDS
     assert "reuse_expired" in KNOWN_KINDS
-    assert len(KNOWN_KINDS) == 10
+    assert "fault" in KNOWN_KINDS
+    assert "drop" in KNOWN_KINDS
+    assert "gr_expire" in KNOWN_KINDS
+    assert len(KNOWN_KINDS) == 13
 
 
 def test_record_canonical_line_is_sorted_and_compact():
