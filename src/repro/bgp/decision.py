@@ -53,6 +53,11 @@ def rank_candidates(
     local_pref: LocalPrefFunction,
 ) -> List[Tuple[str, Route]]:
     """All candidates ordered best-first (useful for tests and debugging)."""
-    return sorted(
-        candidates, key=lambda item: preference_key(item[0], item[1], local_pref)
+    # Decorate-sort-undecorate instead of a key lambda: no per-call
+    # closure allocation, and the enumerate index breaks preference ties
+    # without ever comparing Route objects.
+    decorated = sorted(
+        (preference_key(peer, route, local_pref), index, peer, route)
+        for index, (peer, route) in enumerate(candidates)
     )
+    return [(peer, route) for _key, _index, peer, route in decorated]

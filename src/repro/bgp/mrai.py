@@ -112,7 +112,8 @@ class MraiLimiter:
             timer = Timer(
                 self._engine,
                 functools.partial(self._expired, peer),
-                name=f"mrai:{self.owner}->{peer}",
+                # One allocation per peer lifetime, not per sent update.
+                name=f"mrai:{self.owner}->{peer}",  # perflint: disable=PERF004
                 actor=self.owner,
                 tag="mrai",
             )

@@ -25,18 +25,29 @@ from repro.core.params import UpdateKind
 from repro.core.rcn import RootCause
 
 
-@dataclass
 class RibInEntry:
     """State of one (peer, prefix) slot in an Adj-RIB-In.
 
     ``route`` is ``None`` while the peer has the prefix withdrawn.
     ``ever_announced`` distinguishes a *first* announcement (no damping
     penalty — there was nothing to flap) from a *re*-announcement.
+
+    A plain slotted class rather than a dataclass: one entry lives per
+    (peer, prefix) for the whole run, so the per-instance ``__dict__``
+    would dominate the table's footprint (perflint PERF006).
     """
 
-    route: Optional[Route] = None
-    root_cause: Optional[RootCause] = None
-    ever_announced: bool = False
+    __slots__ = ("route", "root_cause", "ever_announced")
+
+    def __init__(
+        self,
+        route: Optional[Route] = None,
+        root_cause: Optional[RootCause] = None,
+        ever_announced: bool = False,
+    ) -> None:
+        self.route = route
+        self.root_cause = root_cause
+        self.ever_announced = ever_announced
 
 
 class AdjRibIn:

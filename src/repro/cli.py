@@ -147,6 +147,15 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     sim.add_argument(
+        "--audit-alloc",
+        action="store_true",
+        help=(
+            "attach the runtime allocation probe (tracemalloc net bytes "
+            "per profiled sub-phase) and print the per-phase allocation "
+            "report — the dynamic counterpart of the perflint pass"
+        ),
+    )
+    sim.add_argument(
         "--faults",
         default=None,
         metavar="PLAN.json",
@@ -312,11 +321,14 @@ def _build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser(
         "lint",
-        help="run the detlint/semlint/timerlint static-analysis passes",
+        help="run the detlint/semlint/timerlint/perflint static-analysis passes",
         description=(
             "Check Python sources against the determinism (DET001..DET010), "
-            "protocol-semantics (SEM001..SEM007), and timer-lifecycle "
-            "(TIM001..TIM010) rule catalogues — see docs/STATIC_ANALYSIS.md. "
+            "protocol-semantics (SEM001..SEM007), timer-lifecycle "
+            "(TIM001..TIM010), and hot-path performance (PERF001..PERF010) "
+            "rule catalogues — see docs/STATIC_ANALYSIS.md. PERF findings "
+            "keep warning severity only inside the profile-derived hot set; "
+            "elsewhere they downgrade to advisory info and never block. "
             "Exit-code contract (stable): 0 clean (no blocking findings per "
             "--fail-on), 1 blocking findings or parse errors remain, 2 on "
             "usage errors."
@@ -338,13 +350,46 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument(
         "--pass",
-        choices=["det", "sem", "tim", "all"],
+        choices=["det", "sem", "tim", "perf", "all"],
         default="all",
         dest="lint_pass",
         help=(
             "which analysis pass to run: det (determinism), sem (protocol "
-            "semantics), tim (timer lifecycle), or all (default)"
+            "semantics), tim (timer lifecycle), perf (hot-path "
+            "performance), or all (default)"
         ),
+    )
+    lint.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="analyse files with N worker processes (default: 1, sequential)",
+    )
+    lint.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "enable the incremental cache in DIR (e.g. .lint_cache); "
+            "unchanged files are served from the cache, findings are "
+            "digest-identical to an uncached run"
+        ),
+    )
+    lint.add_argument(
+        "--hot-profile",
+        default=None,
+        metavar="FILE",
+        help=(
+            "profile.json consulted by the perf pass's hot-set resolver "
+            "(default: benchmarks/results/profile.json; missing profile "
+            "treats every phase as hot)"
+        ),
+    )
+    lint.add_argument(
+        "--show-info",
+        action="store_true",
+        help="list advisory info-severity findings in text output",
     )
     lint.add_argument(
         "--fail-on",
@@ -582,8 +627,17 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     topology = config.topology
     scenario = Scenario(config)
     audit = scenario.engine.enable_timer_audit() if args.audit_timers else None
+    alloc_probe = None
+    if args.audit_alloc:
+        from repro.sim.allocprobe import AllocationProbe
+
+        alloc_probe = AllocationProbe()
+        alloc_probe.start()
+        scenario.engine.set_phase_probe(alloc_probe)
     scenario.warm_up()
     result = scenario.run(PulseSchedule.regular(args.pulses, args.interval))
+    if alloc_probe is not None:
+        alloc_probe.stop()
     invariant_rows: List[List[object]] = []
     invariant_failures: List[str] = []
     audit_failures: List[str] = []
@@ -638,6 +692,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             rows.append([f"  dropped: {reason}", count])
     rows.extend(invariant_rows)
     print(render_table(headers, rows, title="simulation result"))
+    if alloc_probe is not None:
+        print(alloc_probe.describe())
     for failure in invariant_failures:
         print(f"invariant violation: {failure}", file=sys.stderr)
     for failure in audit_failures:
@@ -671,13 +727,20 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         scenario = Scenario(config)
     tracer = Tracer(JsonlSink(args.out) if args.out is not None else MemorySink())
     profiler.bind(engine=scenario.engine, tracer=tracer)
+    # The probe splits engine dispatch into labelled sub-phases
+    # (decision_process, penalty_decay, mrai_flush, ...) — the breakdown
+    # the perflint hot-set resolver consumes (profile schema v2).
+    probe = profiler.attach_probe(scenario.engine)
     with profiler.phase("warm_up"):
         scenario.warm_up()
+    probe.reset()  # profile the measured episode, not the warm-up
     with profiler.phase("episode"):
         result = scenario.run(
             PulseSchedule.regular(args.pulses, args.interval), tracer=tracer
         )
-    with profiler.phase("analysis"):
+    # The trace/attribution analyses below walk every router's RIBs and
+    # the recorded trace — the profile's rib_scan phase.
+    with profiler.phase("rib_scan"):
         digest = tracer.close()
         causal = analyze_trace(tracer.records)
         windowed = analyze_run(result)
@@ -923,12 +986,29 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         select=tuple(args.select),
         ignore=tuple(args.ignore),
         passes=(args.lint_pass,),
+        hot_profile=args.hot_profile,
     )
+    if args.jobs < 1:
+        print("rfd-repro lint: --jobs must be >= 1", file=sys.stderr)
+        return 2
     try:
-        report = lint_paths(args.paths, config)
+        report = lint_paths(
+            args.paths, config, cache_dir=args.cache_dir, jobs=args.jobs
+        )
     except (ConfigurationError, FileNotFoundError) as exc:
         print(f"rfd-repro lint: {exc}", file=sys.stderr)
         return 2
+    if report.cache_stats is not None:
+        stats = report.cache_stats
+        print(
+            "lint cache: {}/{} local hits, {}/{} perf hits".format(
+                stats["local_hits"],
+                stats["local_hits"] + stats["local_misses"],
+                stats["perf_hits"],
+                stats["perf_hits"] + stats["perf_misses"],
+            ),
+            file=sys.stderr,
+        )
     if args.baseline is not None:
         if args.update_baseline:
             with open(args.baseline, "w", encoding="utf-8") as handle:
@@ -945,8 +1025,10 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             print(f"rfd-repro lint: {exc}", file=sys.stderr)
             return 2
         report = apply_baseline(report, counts)
-    renderer = render_json if args.output_format == "json" else render_text
-    print(renderer(report))
+    if args.output_format == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report, show_info=args.show_info))
     # Exit contract: parse errors always fail; findings fail per --fail-on
     # ('warning' = any finding, 'error' = errors only, 'never' = report only).
     if report.parse_errors:

@@ -59,6 +59,8 @@ class SuppressionRecord:
 class ReuseEvent:
     """A reuse-timer expiry and its observed effect."""
 
+    __slots__ = ("time", "peer", "prefix", "noisy")
+
     time: float
     peer: str
     prefix: str
@@ -67,7 +69,19 @@ class ReuseEvent:
 
 @dataclass
 class UpdateOutcome:
-    """What :meth:`DampingManager.record_update` did with one update."""
+    """What :meth:`DampingManager.record_update` did with one update.
+
+    Allocated once per processed update — slotted so the hot path does
+    not grow a ``__dict__`` per outcome (perflint PERF006).
+    """
+
+    __slots__ = (
+        "penalty",
+        "charged",
+        "suppressed",
+        "newly_suppressed",
+        "rescheduled_reuse",
+    )
 
     penalty: float
     charged: bool
@@ -230,7 +244,9 @@ class DampingManager:
         entry = self._entry(peer, prefix)
         increment = self.params.penalty_increment(kind) if charge else 0.0
         if charge:
-            penalty = entry.penalty.charge(now, kind)
+            # add() with the increment computed above — charge() would
+            # look the increment up a second time for the same update.
+            penalty = entry.penalty.add(now, increment)
         else:
             penalty = entry.penalty.touch(now)
 
@@ -304,7 +320,8 @@ class DampingManager:
             entry.timer = Timer(
                 self._engine,
                 functools.partial(self._reuse_fired, peer, prefix),
-                name=f"reuse:{self.owner}:{peer}:{prefix}",
+                # One allocation per (peer, prefix) lifetime, not per event.
+                name=f"reuse:{self.owner}:{peer}:{prefix}",  # perflint: disable=PERF004
                 actor=self.owner,
                 tag="reuse",
             )
@@ -320,7 +337,10 @@ class DampingManager:
     ) -> None:
         now = self._engine.now
         entry.suppressed = True
-        record = SuppressionRecord(
+        # SuppressionRecord carries defaulted fields and a list factory, so
+        # it cannot take __slots__ on this Python; suppressions are rare
+        # relative to charges, so the dict cost is accepted.
+        record = SuppressionRecord(  # perflint: disable=PERF006
             peer=peer, prefix=prefix, started=now, penalty_at_start=penalty
         )
         entry.current_record = record

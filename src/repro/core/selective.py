@@ -32,6 +32,8 @@ class RelativePreference:
     sanity-check the claim.
     """
 
+    __slots__ = ("direction", "path_length")
+
     direction: int
     path_length: int
 

@@ -1,4 +1,5 @@
-"""Static analysis for the reproduction: detlint + semlint + timerlint.
+"""Static analysis for the reproduction: detlint + semlint + timerlint +
+perflint.
 
 The paper's headline effects (secondary charging, muffling, the ``Nh``
 crossover) are timer-interaction effects, so the reproduction is only
@@ -19,12 +20,22 @@ conventions into machine-checked invariants:
   handles (leaks, double-arm, re-arm-after-cancel) plus discipline at
   arming/construction sites (charge-API bypass in callbacks, raw delay
   literals, engine-boundary bypass, race labels, unclamped delays).
+* **perflint** (``PERF0xx``, :mod:`repro.lint.perf`) — profile-guided
+  hot-path performance hazards: per-event allocation (closures,
+  containers, f-strings, unslotted instances), repeated attribute
+  chains, list-concat growth, materialized membership tests, eager
+  logging, constant rebuilding. Findings keep warning severity only
+  inside the hot set derived from the committed phase profile
+  (:mod:`repro.lint.callgraph` + ``benchmarks/results/profile.json``);
+  elsewhere they downgrade to advisory ``info``.
 
 All passes share one rule framework (:mod:`repro.lint.framework`), a
-driver with construct-scoped ``# detlint: disable=...`` suppressions and
-``--baseline`` support (:mod:`repro.lint.runner`,
-:mod:`repro.lint.baseline`), and text/JSON reporters
-(:mod:`repro.lint.reporters`).
+driver with construct-scoped pass-prefixed ``# <pass>lint:
+disable=...`` / generic ``# lint: disable=...`` suppressions,
+``--baseline`` support, an incremental content-digest cache
+(:mod:`repro.lint.cache`), and parallel file analysis
+(:mod:`repro.lint.runner`); text/JSON reporters live in
+:mod:`repro.lint.reporters`.
 
 Run it as ``rfd-repro lint --pass all src/``; the tier-1 suite gates the
 whole tree through :func:`lint_paths`. The complementary *runtime*
@@ -41,10 +52,18 @@ from repro.lint.baseline import (
     parse_baseline,
     render_baseline,
 )
-from repro.lint.config import DEFAULT_PROTECTED_PACKAGES, LintConfig, make_config
+from repro.lint.cache import RULE_SET_VERSION, LintCache
+from repro.lint.callgraph import FileSummary, ProjectGraph, summarize_file
+from repro.lint.config import (
+    DEFAULT_PROTECTED_PACKAGES,
+    LintConfig,
+    make_config,
+    pass_for_rule,
+)
 from repro.lint.effects import EffectAnalysis, FunctionEffects, analyze_effects
 from repro.lint.findings import Finding, LintReport
 from repro.lint.framework import FileContext, Rule, all_rule_ids, iter_rules
+from repro.lint.perf import HotSetResolver, PerfAnalysis, resolve_hot_functions
 from repro.lint.reporters import render_json, render_rule_list, render_text
 from repro.lint.rules import RULE_IDS
 from repro.lint.runner import lint_paths, lint_source, parse_suppressions
@@ -54,11 +73,17 @@ __all__ = [
     "DEFAULT_PROTECTED_PACKAGES",
     "EffectAnalysis",
     "FileContext",
+    "FileSummary",
     "Finding",
     "FunctionEffects",
+    "HotSetResolver",
+    "LintCache",
     "LintConfig",
     "LintReport",
+    "PerfAnalysis",
+    "ProjectGraph",
     "RULE_IDS",
+    "RULE_SET_VERSION",
     "Rule",
     "TimerAnalysis",
     "all_rule_ids",
@@ -72,8 +97,11 @@ __all__ = [
     "make_config",
     "parse_baseline",
     "parse_suppressions",
+    "pass_for_rule",
     "render_baseline",
     "render_json",
     "render_rule_list",
     "render_text",
+    "resolve_hot_functions",
+    "summarize_file",
 ]

@@ -10,6 +10,7 @@ construct narrower configs to exercise individual rules in isolation.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 from typing import FrozenSet, Optional, Tuple
 
@@ -42,12 +43,32 @@ DEFAULT_PARAMS_MODULES: Tuple[str, ...] = ("repro.core.params",)
 #: The module allowed to flip suppression state directly (SEM007).
 DEFAULT_DAMPING_MODULES: Tuple[str, ...] = ("repro.core.damping",)
 
-#: The one module allowed to spawn worker processes (DET010): the
-#: deterministic sweep executor.
-DEFAULT_EXECUTOR_MODULES: Tuple[str, ...] = ("repro.experiments.parallel",)
+#: Modules allowed to spawn worker processes (DET010): the deterministic
+#: sweep executor and the parallel lint runner (which analyses static
+#: source text, not simulation state).
+DEFAULT_EXECUTOR_MODULES: Tuple[str, ...] = (
+    "repro.experiments.parallel",
+    "repro.lint.runner",
+)
 
 #: Analysis passes by rule-id prefix; ``--pass all`` selects every one.
-KNOWN_PASSES: FrozenSet[str] = frozenset({"det", "sem", "tim"})
+KNOWN_PASSES: FrozenSet[str] = frozenset({"det", "sem", "tim", "perf"})
+
+#: Default committed profile consulted by the perflint hot-set resolver.
+DEFAULT_HOT_PROFILE: str = "benchmarks/results/profile.json"
+
+#: Phases whose wall-clock share is at or above this fraction of the
+#: profiled total are "hot"; perflint findings inside their transitive
+#: call closure keep warning severity, everything else downgrades to info.
+DEFAULT_HOT_THRESHOLD: float = 0.05
+
+_PASS_PREFIX = re.compile(r"^[A-Z]+")
+
+
+def pass_for_rule(rule_id: str) -> str:
+    """The analysis pass a rule id belongs to (``PERF003`` -> ``perf``)."""
+    match = _PASS_PREFIX.match(rule_id)
+    return match.group(0).lower() if match else rule_id[:3].lower()
 
 
 def _module_in(module: Optional[str], packages: Tuple[str, ...]) -> bool:
@@ -70,10 +91,11 @@ class LintConfig:
         Rule ids excluded from the run (applied after ``select``).
     passes:
         Which analysis passes run: ``det`` (determinism), ``sem``
-        (protocol semantics), ``tim`` (timer lifecycle/interaction), or
-        any combination. A rule belongs to the pass its id prefix spells
+        (protocol semantics), ``tim`` (timer lifecycle/interaction),
+        ``perf`` (profile-guided hot-path performance), or any
+        combination. A rule belongs to the pass its id prefix spells
         (``DET005`` -> ``det``, ``SEM003`` -> ``sem``, ``TIM001`` ->
-        ``tim``).
+        ``tim``, ``PERF004`` -> ``perf``).
     protected_packages:
         Dotted module prefixes in which DET007 forbids environment and
         filesystem access.
@@ -89,7 +111,13 @@ class LintConfig:
         Modules allowed to mutate suppression state directly (SEM007).
     executor_modules:
         Modules allowed to use ``multiprocessing``/``concurrent.futures``
-        (DET010) — the deterministic sweep executor.
+        (DET010) — the deterministic sweep executor and the lint runner.
+    hot_profile:
+        Path to a :mod:`repro.trace.profile` export consulted by the
+        perflint hot-set resolver; None falls back to the committed
+        default when it exists.
+    hot_threshold:
+        Minimum wall-clock fraction for a profiled phase to count as hot.
     """
 
     select: FrozenSet[str] = frozenset()
@@ -102,6 +130,8 @@ class LintConfig:
     params_modules: Tuple[str, ...] = DEFAULT_PARAMS_MODULES
     damping_modules: Tuple[str, ...] = DEFAULT_DAMPING_MODULES
     executor_modules: Tuple[str, ...] = DEFAULT_EXECUTOR_MODULES
+    hot_profile: Optional[str] = None
+    hot_threshold: float = DEFAULT_HOT_THRESHOLD
 
     def validate(self, known_rule_ids: FrozenSet[str]) -> None:
         """Reject rule ids or pass names nothing provides."""
@@ -119,7 +149,7 @@ class LintConfig:
             raise ConfigurationError("at least one lint pass must be enabled")
 
     def rule_enabled(self, rule_id: str) -> bool:
-        if rule_id[:3].lower() not in self.passes:
+        if pass_for_rule(rule_id) not in self.passes:
             return False
         if self.select and rule_id not in self.select:
             return False
@@ -150,13 +180,15 @@ class LintConfig:
 def make_config(
     select: Tuple[str, ...] = (),
     ignore: Tuple[str, ...] = (),
-    passes: Tuple[str, ...] = ("det", "sem", "tim"),
+    passes: Tuple[str, ...] = ("det", "sem", "tim", "perf"),
     protected_packages: Tuple[str, ...] = DEFAULT_PROTECTED_PACKAGES,
+    hot_profile: Optional[str] = None,
+    hot_threshold: float = DEFAULT_HOT_THRESHOLD,
 ) -> LintConfig:
     """Convenience constructor used by the CLI (tuples in, frozensets out).
 
     ``passes`` accepts the CLI's ``--pass`` vocabulary: ``det``, ``sem``,
-    ``tim``, or ``all`` (expanded to every known pass).
+    ``tim``, ``perf``, or ``all`` (expanded to every known pass).
     """
     expanded = set()
     for name in passes:
@@ -169,4 +201,6 @@ def make_config(
         ignore=frozenset(ignore),
         passes=frozenset(expanded),
         protected_packages=protected_packages,
+        hot_profile=hot_profile,
+        hot_threshold=hot_threshold,
     )

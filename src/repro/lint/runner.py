@@ -1,18 +1,36 @@
-"""The lint driver: file discovery, parsing, suppression handling.
+"""The lint driver: file discovery, parsing, suppression handling, the
+incremental cache, and parallel file analysis.
 
 :func:`lint_paths` is the entry point the CLI and the tier-1 hygiene gate
-share; it runs whichever passes (detlint / semlint / timerlint) the
-config enables.
-Suppression comments are construct-scoped::
+share; it runs whichever passes (detlint / semlint / timerlint /
+perflint) the config enables. The det/sem/tim passes are *local* (pure
+functions of one file) and are analysed per file — in worker processes
+when ``jobs > 1``, over the same spawn-context conventions as the sweep
+executor. The perf pass is *cross-file*: after the local phase, the
+per-file call-graph summaries are stitched into a
+:class:`~repro.lint.callgraph.ProjectGraph`, the hot set is resolved
+from the committed profile, and the PERF rules run with that project
+context. With ``cache_dir`` set, both phases consult a content-digest
+cache (:mod:`repro.lint.cache`); the findings of a warm run are
+digest-identical to a cold sequential run by construction, because
+cached entries are keyed on exactly the inputs the analysis reads.
+
+Suppression comments are construct-scoped and pass-prefixed::
 
     t = time.time()  # detlint: disable=DET001
     u = time.time()  # detlint: disable=all
+    d = self.params.rates  # perflint: disable=PERF003
+    x = simulate()  # lint: disable=DET001,SEM003
 
-A directive silences a finding when it sits on any physical line of the
-flagged construct (so continuation lines of a multi-line call work), or
-on a decorator line of the flagged ``def``/``class``. A suppressed
-finding is still recorded (reporters show the count) but does not fail
-the run.
+A pass-scoped prefix (``semlint:`` / ``timerlint:`` / ``perflint:``)
+only silences ids of its own pass (``disable=all`` means "all rules of
+this pass"); the generic ``lint:`` prefix — and ``detlint:``, which
+predates pass scoping and stays fully generic for compatibility —
+silences any listed id (``disable=all`` silences everything). A directive
+silences a finding when it sits on any physical line of the flagged
+construct (so continuation lines of a multi-line call work), or on a
+decorator line of the flagged ``def``/``class``. A suppressed finding is
+still recorded (reporters show the count) but does not fail the run.
 """
 
 from __future__ import annotations
@@ -22,22 +40,63 @@ import io
 import os
 import tokenize
 from dataclasses import replace
-from typing import Dict, Iterator, List, Optional, Sequence, Set
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
-from repro.lint.config import LintConfig
+from repro.lint.cache import (
+    LintCache,
+    config_digest,
+    hot_slice_digest,
+    rules_signature,
+    source_digest,
+)
+from repro.lint.callgraph import FileSummary, ProjectGraph, summarize_file
+from repro.lint.config import LintConfig, pass_for_rule
 from repro.lint.findings import Finding, LintReport
 from repro.lint.rules import FileContext, Rule, all_rule_ids, iter_rules
 
-_DIRECTIVE = "detlint:"
+#: Pass-scoped directive prefixes: ids listed after ``# semlint:`` only
+#: silence SEM rules; ``disable=all`` becomes the pass-scoped token
+#: ``sem:all``.
+_PASS_DIRECTIVES: Dict[str, str] = {
+    "semlint:": "sem",
+    "timerlint:": "tim",
+    "perflint:": "perf",
+}
+#: Generic prefixes: listed ids silence any pass; ``all`` everything.
+#: ``detlint:`` predates the pass-scoped prefixes and has always accepted
+#: ids of every catalogue, so it stays an alias of ``lint:`` — existing
+#: suppressions keep working.
+_GENERIC_DIRECTIVES = ("lint:", "detlint:")
+
 _SKIP_DIRS = frozenset({"__pycache__", ".git", ".mypy_cache", ".pytest_cache"})
 
 
-def parse_suppressions(source: str) -> Dict[int, Set[str]]:
-    """Map line number -> rule ids disabled on that line.
+def _directive_tokens(text: str, pass_name: Optional[str]) -> Set[str]:
+    """Parse one ``disable=...`` payload into suppression tokens."""
+    if not text.startswith("disable="):
+        return set()
+    tokens: Set[str] = set()
+    for part in text[len("disable=") :].split(","):
+        rule_id = part.strip()
+        if not rule_id:
+            continue
+        if pass_name is None:
+            tokens.add(rule_id)
+        elif rule_id == "all":
+            tokens.add(f"{pass_name}:all")
+        elif pass_for_rule(rule_id) == pass_name:
+            tokens.add(rule_id)
+        # An id of another pass under a pass-scoped prefix is ignored —
+        # `# semlint: disable=DET001` must not silence detlint.
+    return tokens
 
-    The special token ``all`` disables every rule on its line. Comments
-    are found with :mod:`tokenize`, so directive-looking text inside
-    string literals is ignored.
+
+def parse_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map line number -> suppression tokens active on that line.
+
+    Tokens are rule ids, the pass-scoped ``<pass>:all``, or the global
+    ``all``. Comments are found with :mod:`tokenize`, so directive-
+    looking text inside string literals is ignored.
     """
     suppressions: Dict[int, Set[str]] = {}
     try:
@@ -46,17 +105,22 @@ def parse_suppressions(source: str) -> Dict[int, Set[str]]:
             if token.type != tokenize.COMMENT:
                 continue
             text = token.string.lstrip("#").strip()
-            if not text.startswith(_DIRECTIVE):
-                continue
-            directive = text[len(_DIRECTIVE) :].strip()
-            if not directive.startswith("disable="):
-                continue
-            rule_ids = {
-                part.strip()
-                for part in directive[len("disable=") :].split(",")
-                if part.strip()
-            }
-            suppressions.setdefault(token.start[0], set()).update(rule_ids)
+            parsed: Set[str] = set()
+            for prefix, pass_name in _PASS_DIRECTIVES.items():
+                if text.startswith(prefix):
+                    parsed = _directive_tokens(
+                        text[len(prefix) :].strip(), pass_name
+                    )
+                    break
+            else:
+                for prefix in _GENERIC_DIRECTIVES:
+                    if text.startswith(prefix):
+                        parsed = _directive_tokens(
+                            text[len(prefix) :].strip(), None
+                        )
+                        break
+            if parsed:
+                suppressions.setdefault(token.start[0], set()).update(parsed)
     except tokenize.TokenError:
         pass  # the AST parse already succeeded; treat as no suppressions
     return suppressions
@@ -96,6 +160,12 @@ def _disabled_rules(
     return disabled
 
 
+def _is_suppressed(finding: Finding, disabled: Set[str]) -> bool:
+    if "all" in disabled or finding.rule_id in disabled:
+        return True
+    return f"{pass_for_rule(finding.rule_id)}:all" in disabled
+
+
 def module_name_for(path: str) -> Optional[str]:
     """Derive a dotted module name from a file path, if the path visibly
     contains the ``repro`` package (e.g. ``src/repro/sim/engine.py`` ->
@@ -114,14 +184,35 @@ def module_name_for(path: str) -> Optional[str]:
     return ".".join(module_parts)
 
 
+def _apply_suppressions(
+    findings: List[Finding],
+    report: LintReport,
+    suppressions: Dict[int, Set[str]],
+    decorators: Dict[int, List[int]],
+) -> None:
+    findings.sort(key=lambda f: (f.line, f.col, f.rule_id))
+    for finding in findings:
+        disabled = _disabled_rules(finding, suppressions, decorators)
+        if _is_suppressed(finding, disabled):
+            report.suppressed.append(replace(finding, suppressed=True))
+        else:
+            report.findings.append(finding)
+
+
 def lint_source(
     source: str,
     path: str = "<string>",
     config: Optional[LintConfig] = None,
     module: Optional[str] = None,
     rules: Optional[Sequence[Rule]] = None,
+    project: Optional[ProjectGraph] = None,
 ) -> LintReport:
-    """Lint one source string; the unit of work for files and tests."""
+    """Lint one source string; the unit of work for files and tests.
+
+    Cross-file rules (the perf pass) see ``project`` when the caller
+    linted a whole tree; a lone file gets a single-file project built on
+    the fly inside the perf analysis.
+    """
     config = config if config is not None else LintConfig()
     report = LintReport(files_checked=1)
     try:
@@ -131,20 +222,16 @@ def lint_source(
         return report
     if module is None:
         module = module_name_for(path)
-    context = FileContext(path=path, tree=tree, config=config, module=module)
+    context = FileContext(
+        path=path, tree=tree, config=config, module=module, project=project
+    )
     suppressions = parse_suppressions(source)
     decorators = _decorator_lines(tree)
     active_rules = rules if rules is not None else iter_rules(config)
     findings: List[Finding] = []
     for rule in active_rules:
         findings.extend(rule.check(context))
-    findings.sort(key=lambda f: (f.line, f.col, f.rule_id))
-    for finding in findings:
-        disabled = _disabled_rules(finding, suppressions, decorators)
-        if "all" in disabled or finding.rule_id in disabled:
-            report.suppressed.append(replace(finding, suppressed=True))
-        else:
-            report.findings.append(finding)
+    _apply_suppressions(findings, report, suppressions, decorators)
     return report
 
 
@@ -163,22 +250,313 @@ def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
                     yield os.path.join(dirpath, filename)
 
 
+# ----------------------------------------------------------------------
+# per-file local analysis (det/sem/tim) + call-graph summary
+# ----------------------------------------------------------------------
+
+#: Picklable result of one file's local phase: ``(path, sha, findings,
+#: suppressed, parse_error, summary_dict)`` with findings as dicts.
+_LocalResult = Tuple[
+    str,
+    str,
+    List[Dict[str, object]],
+    List[Dict[str, object]],
+    Optional[str],
+    Optional[Dict[str, object]],
+]
+
+
+def _local_rules(config: LintConfig) -> List[Rule]:
+    return [
+        rule for rule in iter_rules(config) if pass_for_rule(rule.id) != "perf"
+    ]
+
+
+def _perf_rules(config: LintConfig) -> List[Rule]:
+    return [
+        rule for rule in iter_rules(config) if pass_for_rule(rule.id) == "perf"
+    ]
+
+
+def _analyze_local(
+    path: str, config: LintConfig, rules: Sequence[Rule], want_summary: bool
+) -> _LocalResult:
+    """Read + parse one file, run the local rules, summarize for the
+    call graph. Never raises for per-file problems; they come back as
+    ``parse_error`` rows exactly as the sequential runner reports them."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+    except OSError as exc:
+        return (path, "", [], [], f"unreadable: {exc}", None)
+    sha = source_digest(source)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return (
+            path,
+            sha,
+            [],
+            [],
+            f"syntax error: {exc.msg} (line {exc.lineno})",
+            None,
+        )
+    module = module_name_for(path)
+    context = FileContext(path=path, tree=tree, config=config, module=module)
+    suppressions = parse_suppressions(source)
+    decorators = _decorator_lines(tree)
+    findings: List[Finding] = []
+    for rule in rules:
+        findings.extend(rule.check(context))
+    file_report = LintReport()
+    _apply_suppressions(findings, file_report, suppressions, decorators)
+    summary = (
+        summarize_file(tree, path, module).as_dict() if want_summary else None
+    )
+    return (
+        path,
+        sha,
+        [f.as_dict() for f in file_report.findings],
+        [f.as_dict() for f in file_report.suppressed],
+        None,
+        summary,
+    )
+
+
+# Worker-process state for the parallel local phase, following the
+# spawn-context conventions of repro.experiments.parallel: the config is
+# shipped once through the initializer, rules are instantiated once per
+# worker, and tasks carry only file paths.
+_WORKER_STATE: Dict[str, object] = {}
+
+
+def _init_worker(config: LintConfig, want_summary: bool) -> None:
+    _WORKER_STATE["config"] = config
+    _WORKER_STATE["rules"] = _local_rules(config)
+    _WORKER_STATE["want_summary"] = want_summary
+
+
+def _worker_analyze(paths: List[str]) -> List[_LocalResult]:
+    config = _WORKER_STATE["config"]
+    rules = _WORKER_STATE["rules"]
+    want_summary = _WORKER_STATE["want_summary"]
+    assert isinstance(config, LintConfig) and isinstance(rules, list)
+    return [
+        _analyze_local(path, config, rules, bool(want_summary))
+        for path in paths
+    ]
+
+
+def _run_local_phase(
+    pending: List[str],
+    config: LintConfig,
+    want_summary: bool,
+    jobs: int,
+) -> List[_LocalResult]:
+    """Analyse ``pending`` files, in-process or over a spawn pool."""
+    if jobs <= 1 or len(pending) < 2:
+        rules = _local_rules(config)
+        return [
+            _analyze_local(path, config, rules, want_summary)
+            for path in pending
+        ]
+    import concurrent.futures
+    import multiprocessing
+
+    workers = min(jobs, len(pending))
+    context = multiprocessing.get_context("spawn")
+    chunks = [pending[i::workers] for i in range(workers)]
+    results: List[_LocalResult] = []
+    with concurrent.futures.ProcessPoolExecutor(
+        max_workers=workers,
+        mp_context=context,
+        initializer=_init_worker,
+        initargs=(config, want_summary),
+    ) as pool:
+        for batch in pool.map(_worker_analyze, chunks):
+            results.extend(batch)
+    # Deterministic merge regardless of chunking/completion order.
+    results.sort(key=lambda item: item[0])
+    return results
+
+
+# ----------------------------------------------------------------------
+# the cross-file perf phase
+# ----------------------------------------------------------------------
+
+
+def _run_perf_file(
+    path: str,
+    config: LintConfig,
+    rules: Sequence[Rule],
+    project: ProjectGraph,
+) -> Tuple[List[Finding], List[Finding]]:
+    """Run the perf rules for one file with full project context."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        tree = ast.parse(source, filename=path)
+    except (OSError, SyntaxError):
+        return [], []  # already reported by the local phase
+    context = FileContext(
+        path=path,
+        tree=tree,
+        config=config,
+        module=module_name_for(path),
+        project=project,
+    )
+    findings: List[Finding] = []
+    for rule in rules:
+        findings.extend(rule.check(context))
+    file_report = LintReport()
+    _apply_suppressions(
+        findings, file_report, parse_suppressions(source), _decorator_lines(tree)
+    )
+    return file_report.findings, file_report.suppressed
+
+
 def lint_paths(
-    paths: Sequence[str], config: Optional[LintConfig] = None
+    paths: Sequence[str],
+    config: Optional[LintConfig] = None,
+    *,
+    cache_dir: Optional[str] = None,
+    jobs: int = 1,
 ) -> LintReport:
-    """Lint every Python file under ``paths`` and merge the reports."""
+    """Lint every Python file under ``paths`` and merge the reports.
+
+    ``cache_dir`` enables the incremental cache (typically
+    ``.lint_cache``); ``jobs > 1`` parallelises the per-file local phase
+    over a spawn-context process pool. Both are pure accelerators: the
+    merged report is digest-identical to a cold sequential run.
+    """
     config = config if config is not None else LintConfig()
     config.validate(all_rule_ids())
-    rules = iter_rules(config)
-    report = LintReport()
-    for file_path in iter_python_files(paths):
-        try:
-            with open(file_path, "r", encoding="utf-8") as handle:
-                source = handle.read()
-        except OSError as exc:
-            report.parse_errors.append((file_path, f"unreadable: {exc}"))
-            continue
-        report.extend(
-            lint_source(source, path=file_path, config=config, rules=rules)
+    files = list(iter_python_files(paths))
+    want_perf = "perf" in config.passes
+    perf_rules = _perf_rules(config) if want_perf else []
+    want_perf = bool(perf_rules)
+
+    cache: Optional[LintCache] = None
+    if cache_dir is not None:
+        cache = LintCache(
+            cache_dir,
+            rules_signature(tuple(sorted(all_rule_ids()))),
+            config_digest(config),
         )
+
+    # Phase A — local passes + summaries, cache-aware, parallelisable.
+    shas: Dict[str, str] = {}
+    local_findings: Dict[str, List[Finding]] = {}
+    local_suppressed: Dict[str, List[Finding]] = {}
+    parse_errors: Dict[str, Optional[str]] = {}
+    summaries: Dict[str, Optional[Dict[str, object]]] = {}
+    pending: List[str] = []
+    for path in files:
+        cached = None
+        if cache is not None:
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    source = handle.read()
+            except OSError as exc:
+                shas[path] = ""
+                local_findings[path] = []
+                local_suppressed[path] = []
+                parse_errors[path] = f"unreadable: {exc}"
+                summaries[path] = None
+                continue
+            sha = source_digest(source)
+            shas[path] = sha
+            cached = cache.local_result(path, sha)
+        if cached is not None:
+            findings, suppressed, parse_error, summary = cached
+            local_findings[path] = findings
+            local_suppressed[path] = suppressed
+            parse_errors[path] = parse_error
+            summaries[path] = summary
+        else:
+            pending.append(path)
+
+    from repro.lint.cache import finding_from_dict
+
+    for result in _run_local_phase(pending, config, want_perf, jobs):
+        path, sha, findings_out, suppressed_out, parse_error, summary = result
+        shas[path] = sha
+        local_findings[path] = [finding_from_dict(f) for f in findings_out]
+        local_suppressed[path] = [finding_from_dict(f) for f in suppressed_out]
+        parse_errors[path] = parse_error
+        summaries[path] = summary
+        if cache is not None and sha:
+            cache.store_local(
+                path,
+                sha,
+                local_findings[path],
+                local_suppressed[path],
+                parse_error,
+                summary,
+            )
+
+    # Phase B — the cross-file perf pass over the project graph.
+    perf_findings: Dict[str, List[Finding]] = {}
+    perf_suppressed: Dict[str, List[Finding]] = {}
+    if want_perf:
+        project = ProjectGraph(
+            FileSummary.from_dict(summary)
+            for summary in summaries.values()
+            if summary is not None
+        )
+        from repro.lint.perf import resolve_hot_functions
+
+        hot = resolve_hot_functions(config, project)
+        # The runner resolved the hot set once for the whole run; the
+        # per-file analyses read it from here instead of recomputing.
+        project.hot_functions = hot  # type: ignore[attr-defined]
+        for path in files:
+            if parse_errors.get(path):
+                perf_findings[path] = []
+                perf_suppressed[path] = []
+                continue
+            slice_digest = hot_slice_digest(
+                [name for name in hot if project.path_of(name) == path]
+            )
+            cached_perf = None
+            if cache is not None:
+                cached_perf = cache.perf_result(path, shas[path], slice_digest)
+            if cached_perf is not None:
+                perf_findings[path], perf_suppressed[path] = cached_perf
+            else:
+                found, suppressed = _run_perf_file(
+                    path, config, perf_rules, project
+                )
+                perf_findings[path] = found
+                perf_suppressed[path] = suppressed
+                if cache is not None and shas.get(path):
+                    cache.store_perf(
+                        path, shas[path], slice_digest, found, suppressed
+                    )
+
+    # Merge, in file order, findings re-sorted per file.
+    report = LintReport()
+    for path in files:
+        report.files_checked += 1
+        error = parse_errors.get(path)
+        if error is not None:
+            report.parse_errors.append((path, error))
+            continue
+        merged = list(local_findings.get(path, ()))
+        merged.extend(perf_findings.get(path, ()))
+        merged.sort(key=lambda f: (f.line, f.col, f.rule_id))
+        report.findings.extend(merged)
+        merged_suppressed = list(local_suppressed.get(path, ()))
+        merged_suppressed.extend(perf_suppressed.get(path, ()))
+        merged_suppressed.sort(key=lambda f: (f.line, f.col, f.rule_id))
+        report.suppressed.extend(merged_suppressed)
+
+    if cache is not None:
+        cache.save(keep_paths=files)
+        report.cache_stats = {
+            "local_hits": cache.local_hits,
+            "local_misses": cache.local_misses,
+            "perf_hits": cache.perf_hits,
+            "perf_misses": cache.perf_misses,
+        }
     return report

@@ -19,7 +19,7 @@ re-arms, reuse-timer reschedules) cannot bloat the queue without bound.
 from __future__ import annotations
 
 import heapq
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Protocol, Tuple
 
 from repro.errors import SimulationError
 from repro.sim.events import ScheduleTie
@@ -34,6 +34,22 @@ TieObserver = Callable[[ScheduleTie], None]
 #: (the causal tracer installs one via :meth:`Engine.set_event_hook`).
 EventHook = Callable[["ScheduledEvent"], None]
 
+
+class PhaseProbe(Protocol):
+    """Structural interface for per-event phase sampling.
+
+    The engine brackets every callback with ``before()``/``after(tag)``
+    so the probe — not the engine — owns whatever non-deterministic
+    measurement it takes (wall clock for the
+    :class:`~repro.trace.profile.EnginePhaseProbe`, tracemalloc for the
+    :class:`~repro.sim.allocprobe.AllocationProbe`). The engine itself
+    never reads a host clock.
+    """
+
+    def before(self) -> None: ...
+
+    def after(self, tag: Optional[str]) -> None: ...
+
 #: Heap entry layout: ties in ``time`` break on ``seq``, and the event
 #: handle never participates in comparisons.
 _HeapEntry = Tuple[float, int, "ScheduledEvent"]
@@ -41,6 +57,10 @@ _HeapEntry = Tuple[float, int, "ScheduledEvent"]
 #: Queues smaller than this are never compacted — rebuilding a tiny heap
 #: costs more than skipping its cancelled entries at pop time.
 _COMPACT_MIN_SIZE = 64
+
+#: Hoisted so the finiteness guard in :meth:`Engine.schedule_at` does not
+#: rebuild a tuple (and two floats) on every scheduling call.
+_NON_FINITE = (float("inf"), float("-inf"))
 
 _EventState = Tuple[
     float, int, Callable[[], None], bool, Optional[str], Optional[str], Optional["Engine"]
@@ -178,6 +198,9 @@ class Engine:
         #: Opt-in no-progress detector (:class:`~repro.sim.watchdog.Watchdog`);
         #: observes every executed event through the instrumented path.
         self._watchdog: Optional["Watchdog"] = None
+        #: Opt-in per-event phase sampler (profiler sub-phases or the
+        #: allocation audit); forces the instrumented dispatch path.
+        self._phase_probe: Optional[PhaseProbe] = None
         #: True when the run loops must route through :meth:`_execute`
         #: (tie detection or an event hook); kept as one precomputed flag
         #: so the hot path stays a single attribute test.
@@ -222,7 +245,7 @@ class Engine:
         SimulationError
             If ``time`` is in the past or not a finite number.
         """
-        if time != time or time in (float("inf"), float("-inf")):
+        if time != time or time in _NON_FINITE:
             raise SimulationError(f"event time must be finite, got {time!r}")
         if time < self._now:
             raise SimulationError(
@@ -316,8 +339,32 @@ class Engine:
         uninstrumented fast dispatch path."""
         self._event_hook = hook
         self._instrumented = (
-            self._detect_ties or hook is not None or self._watchdog is not None
+            self._detect_ties
+            or hook is not None
+            or self._watchdog is not None
+            or self._phase_probe is not None
         )
+
+    def set_phase_probe(self, probe: Optional[PhaseProbe]) -> None:
+        """Install (or clear) a per-event phase sampler.
+
+        Every executed event is bracketed with ``probe.before()`` /
+        ``probe.after(event.tag)``; the probe maps tags to profiled
+        sub-phases. With no probe (and no other instrumentation) the run
+        loops keep the uninstrumented fast dispatch path.
+        """
+        self._phase_probe = probe
+        self._instrumented = (
+            self._detect_ties
+            or self._event_hook is not None
+            or self._watchdog is not None
+            or probe is not None
+        )
+
+    @property
+    def phase_probe(self) -> Optional[PhaseProbe]:
+        """The attached phase sampler, or ``None`` when disabled."""
+        return self._phase_probe
 
     @property
     def timer_audit(self) -> Optional["TimerAudit"]:
@@ -378,10 +425,10 @@ class Engine:
     ) -> List[Tuple[float, Optional[str], Optional[str]]]:
         """The earliest live queue entries as ``(time, actor, tag)``
         triples (diagnostics; at most ``limit`` entries)."""
-        live = sorted(
-            (entry for entry in self._queue if not entry[2].cancelled),
-            key=lambda entry: (entry[0], entry[1]),
-        )
+        # Heap entries are (time, seq, event) with seq unique, so plain
+        # tuple order sorts by (time, seq) and never compares events — no
+        # key lambda needed.
+        live = sorted(entry for entry in self._queue if not entry[2].cancelled)
         return [(entry[0], entry[2].actor, entry[2].tag) for entry in live[:limit]]
 
     def add_tie_observer(self, observer: TieObserver) -> None:
@@ -432,7 +479,15 @@ class Engine:
             self._watchdog.observe(event)
         if self._event_hook is not None:
             self._event_hook(event)
-        event.callback()
+        probe = self._phase_probe
+        if probe is None:
+            event.callback()
+            return
+        probe.before()
+        try:
+            event.callback()
+        finally:
+            probe.after(event.tag)
 
     def step(self) -> bool:
         """Execute the single next event.

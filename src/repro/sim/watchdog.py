@@ -98,7 +98,9 @@ def stall_diagnostics(
     inventory: Optional[Tuple[str, ...]] = None
     if audit is not None:
         inventory = tuple(audit.pending_timers())
-    return StallDiagnostics(
+    # StallDiagnostics has a defaulted field, so it cannot take __slots__
+    # on this Python; it is built once per stall report, never per event.
+    return StallDiagnostics(  # perflint: disable=PERF006
         now=engine.now,
         events_executed=engine.events_executed,
         events_at_instant=events_at_instant,

@@ -83,6 +83,25 @@ def test_no_command_errors():
         main([])
 
 
+def test_simulate_audit_alloc_reports_subphase_bytes(capsys):
+    code = main(
+        [
+            "simulate",
+            "--topology", "mesh",
+            "--nodes", "9",
+            "--pulses", "1",
+            "--damping", "cisco",
+            "--seed", "3",
+            "--audit-alloc",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "allocation audit" in out
+    assert "decision_process" in out
+    assert "events=" in out
+
+
 def test_intended_command(capsys):
     assert main(["intended", "--pulses", "4", "--vendor", "cisco"]) == 0
     out = capsys.readouterr().out
@@ -160,6 +179,55 @@ def test_lint_json_format(capsys, tmp_path):
     assert main(["lint", "--format", "json", str(fixture)]) == 1
     payload = json.loads(capsys.readouterr().out)
     assert payload["counts_by_rule"] == {"DET001": 1}
+
+
+def test_lint_cache_dir_reports_stats_and_identical_json(capsys, tmp_path):
+    fixture = tmp_path / "bad.py"
+    fixture.write_text("import time\nt = time.time()\n", encoding="utf-8")
+    cache_dir = tmp_path / "lint_cache"
+    assert main(
+        ["lint", "--format", "json", "--cache-dir", str(cache_dir), str(fixture)]
+    ) == 1
+    cold = capsys.readouterr()
+    assert main(
+        ["lint", "--format", "json", "--cache-dir", str(cache_dir), str(fixture)]
+    ) == 1
+    warm = capsys.readouterr()
+    # Findings JSON is byte-identical; the cache stats line goes to stderr.
+    assert warm.out == cold.out
+    assert "lint cache:" in warm.err
+    assert "1/1 local hits" in warm.err
+
+
+def test_lint_jobs_matches_sequential_output(capsys, tmp_path):
+    for name in ("a", "b", "c"):
+        (tmp_path / f"{name}.py").write_text(
+            "import time\nt = time.time()\n", encoding="utf-8"
+        )
+    assert main(["lint", "--format", "json", str(tmp_path)]) == 1
+    sequential = capsys.readouterr().out
+    assert main(["lint", "--format", "json", "--jobs", "2", str(tmp_path)]) == 1
+    parallel = capsys.readouterr().out
+    assert parallel == sequential
+
+
+def test_lint_rejects_bad_jobs(capsys):
+    assert main(["lint", "--jobs", "0", "src"]) == 2
+
+
+def test_lint_pass_perf_lists_info_with_show_info(capsys, tmp_path):
+    fixture = tmp_path / "hot.py"
+    fixture.write_text(
+        "def fmt(peer):\n    return f'peer {peer}'\n", encoding="utf-8"
+    )
+    # Outside the hot set the finding is info: advisory, exit 0.
+    assert main(["lint", "--pass", "perf", str(fixture)]) == 0
+    out = capsys.readouterr().out
+    assert "info" in out
+    assert "PERF004" not in out  # not listed without --show-info
+    assert main(["lint", "--pass", "perf", "--show-info", str(fixture)]) == 0
+    out = capsys.readouterr().out
+    assert "PERF004" in out
 
 
 def test_lint_select_and_ignore(capsys, tmp_path):
@@ -439,9 +507,14 @@ def test_trace_small_mesh(capsys, tmp_path):
     summary = _json.loads(summary_path.read_text(encoding="utf-8"))
     assert summary["records_total"] == len(records)
     profile = _json.loads(profile_path.read_text(encoding="utf-8"))
-    assert [p["phase"] for p in profile["phases"]] == [
-        "build", "warm_up", "episode", "analysis",
-    ]
+    assert profile["schema"] == 2
+    names = [p["phase"] for p in profile["phases"]]
+    # Explicit phases first (in execution order), then the engine
+    # probe's labelled sub-phases.
+    assert names[:4] == ["build", "warm_up", "episode", "rib_scan"]
+    assert "decision_process" in names
+    probe_rows = [p for p in profile["phases"] if p.get("source") == "engine_probe"]
+    assert probe_rows and all(r["events"] > 0 for r in probe_rows)
 
 
 def test_trace_show_filters_by_kind(capsys):

@@ -100,15 +100,17 @@ def test_documentation_files_exist(required):
 
 
 def test_detlint_full_tree_is_clean():
-    """Tier-1 static-analysis gate: the whole source tree passes both
-    lint passes (determinism + protocol semantics) with no baseline.
+    """Tier-1 static-analysis gate: the whole source tree passes all
+    four lint passes with no baseline and no blocking findings.
 
     This is the machine-checked form of the conventions the engine's and
     the RFD layers' docstrings promise — see docs/STATIC_ANALYSIS.md.
-    New findings mean a wall-clock read, hand-rolled timer arithmetic,
-    a magic damping constant, or one of the other DET/SEM hazards crept
-    into src/; fix it or justify a construct-scoped
-    ``# detlint: disable=...`` suppression.
+    New blocking findings mean a wall-clock read, hand-rolled timer
+    arithmetic, a magic damping constant, a hot-path allocation, or one
+    of the other DET/SEM/TIM/PERF hazards crept into src/; fix it or
+    justify a construct-scoped ``# <pass>lint: disable=...`` suppression.
+    Info-severity perflint findings (hazards outside the profiled hot
+    set) are advisory and never gate.
     """
     from repro.lint import lint_paths, make_config, render_text
 
@@ -116,7 +118,8 @@ def test_detlint_full_tree_is_clean():
         [str(REPO_ROOT / "src")], make_config(passes=("all",))
     )
     assert report.files_checked > 50
-    assert report.ok, "\n" + render_text(report)
+    assert not report.parse_errors, "\n" + render_text(report)
+    assert not report.blocking_findings("warning"), "\n" + render_text(report)
 
 
 def test_detlint_rule_catalogue_is_documented():

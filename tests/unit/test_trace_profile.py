@@ -1,0 +1,199 @@
+"""Unit tests for the schema-v2 phase profiler.
+
+Covers the v2 payload shape (labelled sub-phases from the engine probe
+alongside explicit ``phase()`` blocks), tag-to-sub-phase attribution,
+same-name aggregation, the v1-reading shim in :func:`load_profile`, and
+:func:`phase_fractions` — the exact surface the perflint hot-set
+resolver consumes.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.trace.profile import (
+    HOT_PHASE_LABELS,
+    PROFILE_SCHEMA_VERSION,
+    TAG_PHASE_MAP,
+    EnginePhaseProbe,
+    PhaseProfiler,
+    load_profile,
+    phase_fractions,
+)
+
+
+class TestEnginePhaseProbe:
+    def test_tags_map_to_subphases(self):
+        probe = EnginePhaseProbe()
+        for tag in ("deliver", "reuse", "mrai", "flap", None, "mystery"):
+            probe.before()
+            probe.after(tag)
+        rows = {row["phase"]: row for row in probe.snapshot()}
+        assert rows["decision_process"]["events"] == 1  # deliver
+        assert rows["penalty_decay"]["events"] == 1  # reuse
+        assert rows["mrai_flush"]["events"] == 1  # mrai
+        assert rows["workload"]["events"] == 1  # flap
+        # untagged and unknown tags are engine dispatch work
+        assert rows["timer_dispatch"]["events"] == 2
+
+    def test_snapshot_rows_are_labelled_and_sorted(self):
+        probe = EnginePhaseProbe()
+        probe.before()
+        probe.after("reuse")
+        probe.before()
+        probe.after("deliver")
+        rows = probe.snapshot()
+        assert [row["phase"] for row in rows] == [
+            "decision_process",
+            "penalty_decay",
+        ]
+        for row in rows:
+            assert row["source"] == "engine_probe"
+            assert row["wall_seconds"] >= 0.0
+
+    def test_reset_forgets_samples(self):
+        probe = EnginePhaseProbe()
+        probe.before()
+        probe.after("reuse")
+        probe.reset()
+        assert probe.snapshot() == []
+
+    def test_engine_brackets_every_executed_event(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(1.0, lambda: fired.append("a"), tag="reuse")
+        engine.schedule(2.0, lambda: fired.append("b"), tag="deliver")
+        engine.schedule(3.0, lambda: fired.append("c"))
+        probe = EnginePhaseProbe()
+        engine.set_phase_probe(probe)
+        engine.run()
+        assert fired == ["a", "b", "c"]
+        rows = {row["phase"]: row["events"] for row in probe.snapshot()}
+        assert rows == {
+            "penalty_decay": 1,
+            "decision_process": 1,
+            "timer_dispatch": 1,
+        }
+
+
+class TestPhaseProfilerReport:
+    def test_schema_v2_with_probe_subphases(self):
+        engine = Engine()
+        profiler = PhaseProfiler()
+        probe = profiler.attach_probe(engine)
+        engine.schedule(1.0, lambda: None, tag="reuse")
+        with profiler.phase("episode"):
+            engine.run()
+        payload = profiler.report()
+        assert payload["schema"] == PROFILE_SCHEMA_VERSION == 2
+        names = [entry["phase"] for entry in payload["phases"]]
+        assert "episode" in names
+        assert "penalty_decay" in names
+        assert probe.snapshot()  # the probe kept its samples
+
+    def test_same_name_phases_aggregate(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("warm_up"):
+            pass
+        with profiler.phase("warm_up"):
+            pass
+        with profiler.phase("episode"):
+            pass
+        payload = profiler.report()
+        names = [entry["phase"] for entry in payload["phases"]]
+        assert names == ["warm_up", "episode"]
+
+    def test_total_wall_sums_aggregated_phases(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("build"):
+            pass
+        payload = profiler.report()
+        total = sum(
+            float(entry["wall_seconds"]) for entry in payload["phases"]
+        )
+        assert payload["total_wall_seconds"] == pytest.approx(total, abs=1e-6)
+
+    def test_hot_phase_labels_align_with_tag_map(self):
+        assert set(TAG_PHASE_MAP.values()) <= set(HOT_PHASE_LABELS) | {
+            "workload"
+        }
+
+
+class TestLoadProfile:
+    def test_v2_roundtrip(self, tmp_path):
+        path = tmp_path / "profile.json"
+        profiler = PhaseProfiler()
+        with profiler.phase("build"):
+            pass
+        profiler.export(str(path))
+        loaded = load_profile(str(path))
+        assert loaded["schema"] == 2
+        assert "upgraded_from" not in loaded
+
+    def test_v1_shim_upgrades_and_aggregates(self, tmp_path):
+        path = tmp_path / "profile.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "schema": 1,
+                    "phases": [
+                        {"phase": "episode", "wall_seconds": 1.0, "events": 5},
+                        {"phase": "episode", "wall_seconds": 2.0, "events": 7},
+                        {"phase": "build", "wall_seconds": 1.0},
+                    ],
+                }
+            )
+        )
+        loaded = load_profile(str(path))
+        assert loaded["schema"] == 2
+        assert loaded["upgraded_from"] == 1
+        episode = next(
+            e for e in loaded["phases"] if e["phase"] == "episode"
+        )
+        assert episode["wall_seconds"] == pytest.approx(3.0)
+        assert episode["events"] == 12
+
+    def test_unknown_schema_rejected(self, tmp_path):
+        path = tmp_path / "profile.json"
+        path.write_text(json.dumps({"schema": 99, "phases": []}))
+        with pytest.raises(ValueError, match="unsupported schema"):
+            load_profile(str(path))
+
+    def test_malformed_payloads_rejected(self, tmp_path):
+        for payload in ("[]", json.dumps({"schema": 2})):
+            path = tmp_path / "profile.json"
+            path.write_text(payload)
+            with pytest.raises(ValueError):
+                load_profile(str(path))
+
+
+class TestPhaseFractions:
+    def test_fractions_sum_to_one(self):
+        report = {
+            "phases": [
+                {"phase": "decision_process", "wall_seconds": 3.0},
+                {"phase": "penalty_decay", "wall_seconds": 1.0},
+            ]
+        }
+        fractions = phase_fractions(report)
+        assert fractions["decision_process"] == pytest.approx(0.75)
+        assert fractions["penalty_decay"] == pytest.approx(0.25)
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_duplicate_labels_merge(self):
+        report = {
+            "phases": [
+                {"phase": "episode", "wall_seconds": 1.0},
+                {"phase": "episode", "wall_seconds": 1.0},
+            ]
+        }
+        assert phase_fractions(report) == {"episode": pytest.approx(1.0)}
+
+    def test_zero_total_and_missing_phases_are_safe(self):
+        assert phase_fractions({}) == {}
+        assert phase_fractions(
+            {"phases": [{"phase": "build", "wall_seconds": 0.0}]}
+        ) == {"build": 0.0}
