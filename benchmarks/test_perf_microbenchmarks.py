@@ -25,7 +25,12 @@ from repro.bgp.decision import select_best
 from repro.core.params import CISCO_DEFAULTS, UpdateKind
 from repro.core.penalty import PenaltyState
 from repro.experiments.base import DEFAULT_SEED, mesh100_config, small_mesh_config
-from repro.experiments.parallel import execute_sweep
+from repro.experiments.parallel import (
+    available_cpus,
+    execute_sweep,
+    resolve_chunk_size,
+    shutdown_worker_pools,
+)
 from repro.sim.engine import Engine
 from repro.sim.timers import Timer
 from repro.trace import MemorySink, NullSink, PhaseProfiler, Tracer
@@ -76,6 +81,9 @@ def _export_perf_json():
             "python": platform.python_version(),
             "implementation": platform.python_implementation(),
             "cpu_count": os.cpu_count(),
+            # The affinity-aware count parallel sweeps actually get —
+            # what compare_perf's host guard and speedup gate key on.
+            "available_cpus": available_cpus(),
             "platform": sys.platform,
         },
         "benchmarks": dict(sorted(merged.items())),
@@ -305,6 +313,14 @@ def test_perf_snapshot_capture_and_restore():
     # replaces (generous factor: single-digit-millisecond timings on a
     # shared host are noisy).
     assert restore_s < warmup_s * 1.5
+    # Blob-size ratchet: compact RNG-stream pickling brought the mesh100
+    # blob from ~1.39 MB down to ~260 KB. The bound leaves headroom for
+    # legitimate state growth but catches a regression back to pickling
+    # full Mersenne Twister states (which alone would blow past it).
+    assert snapshot.size_bytes < 600_000, (
+        f"warm-state blob grew to {snapshot.size_bytes} bytes — "
+        "snapshot transport and per-point restore costs scale with this"
+    )
 
 
 def _timed(fn) -> float:
@@ -313,18 +329,23 @@ def _timed(fn) -> float:
     return time.perf_counter() - start
 
 
+#: Points of the fig8 acceptance-criterion sweep (the paper's x-axis).
+_FIG8_PULSES = tuple(range(0, 11))
+
+
 def _fig8_sweep(jobs: int, use_snapshots: bool, rounds: int = 1):
     """The acceptance-criterion workload: full-damping mesh, n = 0..10.
 
     Returns (best-of-``rounds`` wall-clock seconds, outcomes).
     """
     config = mesh100_config(seed=DEFAULT_SEED)
-    pulses = tuple(range(0, 11))
     best = None
     outcomes = None
     for _ in range(rounds):
         start = time.perf_counter()
-        outcomes = execute_sweep(config, pulses, jobs=jobs, use_snapshots=use_snapshots)
+        outcomes = execute_sweep(
+            config, _FIG8_PULSES, jobs=jobs, use_snapshots=use_snapshots
+        )
         elapsed = time.perf_counter() - start
         best = elapsed if best is None else min(best, elapsed)
     return best, outcomes
@@ -333,37 +354,92 @@ def _fig8_sweep(jobs: int, use_snapshots: bool, rounds: int = 1):
 def test_perf_fig8_sweep_sequential_vs_parallel():
     """Wall-clock for the fig8 full-damping mesh sweep in three modes:
     the seed's fresh-scenario-per-point loop, sequential with warm-state
-    snapshots, and a 4-worker spawn pool with snapshots. All three must
-    agree digest-for-digest; the JSON records which mode wins here.
+    snapshots, and a warm spawn pool with content-addressed snapshot
+    transport. All three must agree digest-for-digest.
 
-    On this workload episodes dominate (warm-up is ~20% of a point), so
-    the sequential snapshot gain is small, and the parallel mode's
-    placing depends entirely on the host's core count — spawn overhead
-    makes it a loss on a single-core box. The numbers are recorded, not
-    asserted, except for a generous guard that snapshots never make the
-    sequential sweep dramatically slower.
+    The parallel round is timed with the pool already warm (persistent
+    pools are the executor's steady state — every sweep after a
+    process's first reuses workers), and both sides take min-of-rounds
+    so host-load noise hits them equally. On a host with >= 2 available
+    CPUs the parallel sweep must be at least as fast as sequential —
+    the acceptance criterion this PR exists for. On a single-core host
+    the requirement is physically unsatisfiable (spawn workers time-slice
+    one core and pay IPC on top), so the gate skips with that reason;
+    the recorded ``cpu_count`` lets compare_perf refuse cross-host
+    comparisons of the number.
     """
+    par_jobs = 2 if available_cpus() < 4 else 4
+    chunk = resolve_chunk_size(None, len(_FIG8_PULSES), par_jobs)
+
     fresh_s, fresh = _fig8_sweep(jobs=1, use_snapshots=False, rounds=2)
     snap_s, snap = _fig8_sweep(jobs=1, use_snapshots=True, rounds=2)
-    par_s, par = _fig8_sweep(jobs=4, use_snapshots=True)
+    _fig8_sweep(jobs=par_jobs, use_snapshots=True)  # spawn + warm the pool
+    par_s, par = _fig8_sweep(jobs=par_jobs, use_snapshots=True, rounds=2)
 
     assert [o.digest for o in fresh] == [o.digest for o in snap] == [o.digest for o in par]
 
-    _record("fig8_sweep_fresh_per_point", fresh_s, points=11)
+    _record("fig8_sweep_fresh_per_point", fresh_s, points=len(_FIG8_PULSES))
     _record(
         "fig8_sweep_snapshots_sequential",
         snap_s,
-        points=11,
+        points=len(_FIG8_PULSES),
         speedup_vs_fresh=round(fresh_s / snap_s, 2),
     )
     _record(
-        "fig8_sweep_snapshots_jobs4",
+        "fig8_sweep_snapshots_parallel",
         par_s,
-        points=11,
-        jobs=4,
+        points=len(_FIG8_PULSES),
+        jobs=par_jobs,
+        cpu_count=available_cpus(),
+        start_method="spawn",
+        chunk_size=chunk,
         speedup_vs_fresh=round(fresh_s / par_s, 2),
+        speedup_vs_sequential=round(snap_s / par_s, 2),
     )
     assert snap_s < fresh_s * 1.35
+    if available_cpus() < 2:
+        pytest.skip(
+            f"parallel speedup gate needs >= 2 available CPUs, host has "
+            f"{available_cpus()}: jobs={par_jobs} spawn workers time-slice "
+            f"one core, so parallel >= sequential cannot hold (numbers "
+            f"recorded, not gated)"
+        )
+    assert par_s <= snap_s, (
+        f"jobs={par_jobs} sweep took {par_s:.2f}s vs {snap_s:.2f}s "
+        f"sequential on {available_cpus()} CPUs — the parallel executor "
+        f"is losing to its own sequential path"
+    )
+
+
+def test_perf_warm_pool_amortises_spawn():
+    """A second sweep on an already-warm pool must not pay spawn again.
+
+    The persistent pool manager is what turns ``jobs=N`` from a
+    per-sweep interpreter-start tax into a one-off: the first parallel
+    sweep spawns workers, every later one reuses them. This records the
+    cold/warm split so the pool manager's value is visible in the perf
+    trajectory (and its loss would show as warm_s climbing to cold_s).
+    """
+    shutdown_worker_pools()
+    config = mesh100_config(seed=DEFAULT_SEED)
+    pulses = (0, 1, 2, 3)
+
+    cold_s = _timed(lambda: execute_sweep(config, pulses, jobs=2))
+    warm_s = min(
+        _timed(lambda: execute_sweep(config, pulses, jobs=2)) for _ in range(2)
+    )
+
+    _record(
+        "parallel_pool_cold_vs_warm",
+        warm_s,
+        cold_seconds=round(cold_s, 6),
+        cpu_count=available_cpus(),
+        jobs=2,
+        start_method="spawn",
+    )
+    # The warm sweep skips worker spawn + import entirely; it must never
+    # be slower than the cold one beyond timing noise.
+    assert warm_s <= cold_s * 1.10 + 0.05
 
 
 def _small_episode(tracer=None, profiler=None):

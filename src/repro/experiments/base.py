@@ -14,7 +14,12 @@ from repro.topology.internet import internet_topology
 from repro.topology.mesh import mesh_topology
 from repro.topology.model import Topology
 from repro.workload.pulses import PulseSchedule
-from repro.workload.scenarios import FlapRunResult, Scenario, ScenarioConfig
+from repro.workload.scenarios import (
+    FlapRunResult,
+    Scenario,
+    ScenarioConfig,
+    WarmStateCache,
+)
 
 #: The paper sweeps 0..10 pulses on its figures' x-axes.
 DEFAULT_PULSE_COUNTS = tuple(range(0, 11))
@@ -209,6 +214,41 @@ def default_jobs() -> int:
     return _DEFAULT_JOBS
 
 
+#: Sweep tuning shared by every :func:`run_sweep` call: points per
+#: submitted chunk (``None`` = auto-size) and how snapshot blobs reach
+#: workers. Toggled by the CLI's ``--chunk-size``/``--snapshot-transport``
+#: flags; module-level switches for the same reason as ``_DEFAULT_JOBS``.
+_CHUNK_SIZE: Optional[int] = None
+_SNAPSHOT_TRANSPORT = "auto"
+
+
+def set_sweep_tuning(
+    chunk_size: Optional[int] = None, snapshot_transport: str = "auto"
+) -> None:
+    """Set the chunking/transport knobs used by every sweep."""
+    global _CHUNK_SIZE, _SNAPSHOT_TRANSPORT
+    _CHUNK_SIZE = chunk_size
+    _SNAPSHOT_TRANSPORT = snapshot_transport
+
+
+def sweep_tuning() -> tuple:
+    """Current ``(chunk_size, snapshot_transport)`` pair."""
+    return (_CHUNK_SIZE, _SNAPSHOT_TRANSPORT)
+
+
+#: Warm-state snapshots shared by every sweep in this process: figure
+#: drivers replaying one config across several series (fig8/fig9 pairs,
+#: ablation grids) warm it up once, and — because the executor publishes
+#: blobs content-addressed — ship it to workers once, across executor
+#: instances.
+_SWEEP_CACHE = WarmStateCache(max_entries=8)
+
+
+def sweep_cache() -> WarmStateCache:
+    """The process-wide warm-state cache used by :func:`run_sweep`."""
+    return _SWEEP_CACHE
+
+
 def run_point(config: ScenarioConfig, pulses: int, flap_interval: float = 60.0) -> FlapRunResult:
     """Build a fresh scenario and run one episode.
 
@@ -253,6 +293,9 @@ def run_sweep(
         jobs=_DEFAULT_JOBS if jobs is None else jobs,
         use_snapshots=use_snapshots,
         check_invariants=_CHECK_INVARIANTS,
+        chunk_size=_CHUNK_SIZE,
+        snapshot_transport=_SNAPSHOT_TRANSPORT,
+        cache=_SWEEP_CACHE if use_snapshots else None,
     )
     series = SweepSeries(label=label)
     for outcome in outcomes:

@@ -6,21 +6,39 @@ points can run in any process, in any order, without sharing state. This
 module is the one place such fan-out is allowed (detlint rule DET010
 flags ``multiprocessing``/``concurrent.futures`` anywhere else), and it
 provides a hard guarantee: results are **digest-identical** to the
-sequential path, whatever ``jobs`` is.
+sequential path, whatever ``jobs``, chunking, or snapshot transport is.
 
 The guarantee holds by construction:
 
 * Each point's scenario derives every random draw from the point's own
   :class:`~repro.sim.rng.RngRegistry` master seed — nothing is drawn
   from shared or process-global randomness.
-* Workers receive a :class:`~repro.workload.scenarios.WarmStateSnapshot`
-  (or the bare config) through the pool initializer and materialise an
-  independent scenario per point; snapshot restoration preserves RNG
-  stream states, the engine clock/sequence counter, and all protocol
-  state exactly.
+* Workers materialise an independent scenario per point from a
+  :class:`~repro.workload.scenarios.WarmStateSnapshot` (or the bare
+  config); snapshot restoration preserves RNG stream states, the engine
+  clock/sequence counter, and all protocol state exactly.
 * The pool uses the ``spawn`` start method, so workers import a fresh
   interpreter instead of inheriting forked state, and results are
   collected in submission order regardless of completion order.
+
+Three mechanisms make ``jobs=N`` actually buy ~N cores instead of
+drowning in serialisation overhead:
+
+* **Persistent warm pools** (:class:`_PoolManager`): spawn workers cost
+  a full interpreter start + import each, so pools are kept alive and
+  reused across ``execute_sweep`` calls instead of being rebuilt per
+  sweep. A broken or timed-out pool is discarded; healthy pools return
+  to the warm set.
+* **Content-addressed snapshot transport** (:mod:`repro.experiments
+  .snapstore`): the warm-state blob is published once under its SHA-256
+  digest (shared memory or a spill file) and workers attach by key,
+  caching the bytes per digest — the blob crosses the process boundary
+  zero times per point, and multi-sweep runs over the same config reuse
+  the published copy across executor instances.
+* **Chunked scheduling** (:func:`resolve_chunk_size`): points are
+  submitted in contiguous chunks so per-task IPC is amortised on
+  many-small-point grids; collection stays in submission order, so
+  chunking never reorders results.
 
 Episode outcomes cross the process boundary as compact picklable
 :class:`PointOutcome` records (metrics plus the run digest), never as
@@ -29,24 +47,42 @@ full result objects with their collectors and traces.
 
 from __future__ import annotations
 
+import atexit
+import math
 import multiprocessing
 import os
+import pickle
 from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ConfigurationError, SimulationError
+from repro.experiments.snapstore import (
+    SnapshotHandle,
+    fetch_blob,
+    publish_snapshot,
+    resolve_transport,
+)
 from repro.metrics.digest import run_digest
 from repro.sim.rng import RngRegistry
 from repro.trace.sinks import JsonlSink
 from repro.trace.tracer import Tracer
 from repro.workload.pulses import PulseSchedule
-from repro.workload.scenarios import Scenario, ScenarioConfig, WarmStateSnapshot
+from repro.workload.scenarios import (
+    Scenario,
+    ScenarioConfig,
+    WarmStateCache,
+    WarmStateSnapshot,
+)
 
 #: What a worker (or the in-process fallback) builds scenarios from: a
 #: warm-state snapshot when warm-up is shared, else the bare config.
 SweepSource = Union[WarmStateSnapshot, ScenarioConfig]
+
+#: Auto-chunking target: enough chunks per worker that completion skew
+#: stays small, few enough that dispatch overhead is amortised.
+_CHUNKS_PER_WORKER = 4
 
 
 @dataclass(frozen=True)
@@ -72,16 +108,50 @@ class PointOutcome:
     trace_digest: Optional[str] = None
 
 
+def available_cpus() -> int:
+    """CPUs this process may actually run on.
+
+    ``os.cpu_count()`` reports the host's cores even inside a cgroup or
+    affinity-restricted container; the scheduler affinity mask is the
+    honest ceiling for how many workers can make progress, so ``jobs=0``
+    and the perf benchmarks use this instead.
+    """
+    affinity = getattr(os, "sched_getaffinity", None)
+    if affinity is not None:
+        try:
+            return len(affinity(0)) or 1
+        except OSError:  # pragma: no cover - exotic kernels
+            pass
+    return os.cpu_count() or 1
+
+
 def resolve_jobs(jobs: Optional[int]) -> int:
     """Normalise a ``--jobs`` value: ``None``/``1`` = sequential,
-    ``0`` = one worker per CPU, ``N`` = that many workers."""
+    ``0`` = one worker per *available* CPU (affinity-aware, so container
+    CPU limits are respected), ``N`` = that many workers."""
     if jobs is None:
         return 1
     if jobs < 0:
         raise ConfigurationError(f"jobs must be >= 0, got {jobs}")
     if jobs == 0:
-        return os.cpu_count() or 1
+        return available_cpus()
     return jobs
+
+
+def resolve_chunk_size(
+    chunk_size: Optional[int], point_count: int, worker_count: int
+) -> int:
+    """Points per submitted task. ``None`` auto-sizes to roughly
+    :data:`_CHUNKS_PER_WORKER` chunks per worker — 1 for figure-sized
+    sweeps (big points, negligible dispatch), larger for many-point
+    ablation grids where per-task IPC would dominate."""
+    if chunk_size is not None:
+        if chunk_size < 1:
+            raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
+        return chunk_size
+    if worker_count <= 1:
+        return max(1, point_count)
+    return max(1, math.ceil(point_count / (worker_count * _CHUNKS_PER_WORKER)))
 
 
 def derive_seed(master_seed: int, label: str) -> int:
@@ -153,11 +223,17 @@ def _materialise(source: SweepSource) -> Scenario:
 
 
 def _sweep_source(
-    config: ScenarioConfig, point_count: int, use_snapshots: bool
+    config: ScenarioConfig,
+    point_count: int,
+    use_snapshots: bool,
+    cache: Optional[WarmStateCache],
 ) -> SweepSource:
     """Warm up once and snapshot when more than one point will reuse it;
-    a single point is cheaper to warm directly."""
+    a single point is cheaper to warm directly. A cache turns the
+    capture into a digest-keyed lookup shared across sweeps."""
     if use_snapshots and point_count > 1:
+        if cache is not None:
+            return cache.get(config)
         return WarmStateSnapshot.capture(config)
     return config
 
@@ -166,21 +242,34 @@ def _sweep_source(
 # worker-process side
 # ----------------------------------------------------------------------
 
-#: Installed once per worker by the pool initializer; spawn-context
-#: workers do not inherit parent module state, so everything a point
-#: needs is shipped explicitly.
-_WORKER_STATE: Optional[Tuple[SweepSource, float, bool, Optional[str], bool]] = None
+
+@dataclass(frozen=True)
+class _SweepSpec:
+    """Everything a worker needs per chunk, kept deliberately tiny.
+
+    Exactly one of ``handle`` (content-addressed transport) and
+    ``source`` (inline snapshot or bare config) is set. Because the
+    spec rides on every chunk instead of the pool initializer, one
+    persistent pool serves sweeps over different configs back to back.
+    """
+
+    handle: Optional[SnapshotHandle]
+    source: Optional[SweepSource]
+    flap_interval: float
+    check_invariants: bool
+    trace_dir: Optional[str]
+    audit_timers: bool
 
 
-def _init_worker(
-    source: SweepSource,
-    flap_interval: float,
-    check_invariants: bool,
-    trace_dir: Optional[str],
-    audit_timers: bool = False,
-) -> None:
-    global _WORKER_STATE
-    _WORKER_STATE = (source, flap_interval, check_invariants, trace_dir, audit_timers)
+def _init_worker(warm_handle: Optional[SnapshotHandle] = None) -> None:
+    """Pool initializer: prefetch (and digest-verify) the sweep's blob
+    so the first chunk does not pay the transport read. Errors are left
+    for the chunk path, where salvage/retry semantics apply."""
+    if warm_handle is not None:
+        try:
+            fetch_blob(warm_handle)
+        except (SimulationError, OSError):  # pragma: no cover - defensive
+            pass
 
 
 def _point_trace_path(trace_dir: str, index: int, pulses: int) -> str:
@@ -188,23 +277,132 @@ def _point_trace_path(trace_dir: str, index: int, pulses: int) -> str:
     return os.path.join(trace_dir, f"point_{index:03d}_p{pulses}.jsonl")
 
 
-def _worker_run_point(task: Tuple[int, int]) -> PointOutcome:
-    if _WORKER_STATE is None:  # pragma: no cover - pool misuse guard
-        raise SimulationError("sweep worker used before initialisation")
-    source, flap_interval, check_invariants, trace_dir, audit_timers = _WORKER_STATE
-    index, pulses = task
-    return run_point_outcome(
-        _materialise(source),
-        pulses,
-        flap_interval=flap_interval,
-        check_invariants=check_invariants,
-        trace_path=(
-            _point_trace_path(trace_dir, index, pulses)
-            if trace_dir is not None
-            else None
-        ),
-        audit_timers=audit_timers,
-    )
+def _materialise_spec(spec: _SweepSpec) -> Scenario:
+    """An independent warmed scenario inside a worker.
+
+    The content-addressed path restores from the per-process cached
+    blob (fetched at most once per digest), so per-point cost is one
+    in-process ``pickle.loads`` of the compact blob — the snapshot
+    never crosses the process boundary again.
+    """
+    if spec.handle is not None:
+        blob = fetch_blob(spec.handle)
+        try:
+            scenario: Scenario = pickle.loads(blob)
+        except SimulationError:
+            raise
+        except Exception as exc:
+            raise SimulationError(
+                f"warm-state snapshot failed to restore from "
+                f"{spec.handle.kind} transport: {exc}"
+            ) from exc
+        return scenario
+    if spec.source is None:  # pragma: no cover - spec construction guard
+        raise SimulationError("sweep spec carries neither handle nor source")
+    return _materialise(spec.source)
+
+
+#: One chunk of work: contiguous ``(index, pulses)`` tasks.
+_Chunk = Tuple[Tuple[int, int], ...]
+
+
+def _worker_run_chunk(
+    spec: _SweepSpec, tasks: _Chunk
+) -> List[Tuple[int, PointOutcome]]:
+    """Run every point of a chunk and return (index, outcome) pairs."""
+    outcomes: List[Tuple[int, PointOutcome]] = []
+    for index, pulses in tasks:
+        outcomes.append(
+            (
+                index,
+                run_point_outcome(
+                    _materialise_spec(spec),
+                    pulses,
+                    flap_interval=spec.flap_interval,
+                    check_invariants=spec.check_invariants,
+                    trace_path=(
+                        _point_trace_path(spec.trace_dir, index, pulses)
+                        if spec.trace_dir is not None
+                        else None
+                    ),
+                    audit_timers=spec.audit_timers,
+                ),
+            )
+        )
+    return outcomes
+
+
+# ----------------------------------------------------------------------
+# persistent pools
+# ----------------------------------------------------------------------
+
+
+class _PoolManager:
+    """Keeps spawn pools warm across sweeps.
+
+    A spawn worker pays a full interpreter start plus ``import repro``
+    — comparable to several episodes — so tearing the pool down after
+    every sweep forfeits most of the multi-core win for short sweeps
+    and multi-sweep experiments. Healthy pools are parked here on sweep
+    completion and handed back to the next sweep with the same shape;
+    broken or timed-out pools are discarded (their wedged workers make
+    them unreusable). Keys include the executor class so the hardening
+    tests' fake pools never alias real ones.
+    """
+
+    def __init__(self) -> None:
+        self._idle: Dict[Tuple[object, int, str], ProcessPoolExecutor] = {}
+
+    def acquire(
+        self,
+        worker_count: int,
+        start_method: str,
+        warm_handle: Optional[SnapshotHandle] = None,
+    ) -> Tuple[Tuple[object, int, str], ProcessPoolExecutor]:
+        executor_cls = ProcessPoolExecutor  # module attr: monkeypatch seam
+        key = (executor_cls, worker_count, start_method)
+        pool = self._idle.pop(key, None)
+        if pool is None:
+            context = multiprocessing.get_context(start_method)
+            pool = executor_cls(
+                max_workers=worker_count,
+                mp_context=context,
+                initializer=_init_worker,
+                initargs=(warm_handle,),
+            )
+        return key, pool
+
+    def release(
+        self, key: Tuple[object, int, str], pool: ProcessPoolExecutor
+    ) -> None:
+        """Park a healthy pool for reuse (folding any duplicate)."""
+        if key in self._idle:
+            pool.shutdown(wait=False, cancel_futures=True)
+            return
+        self._idle[key] = pool
+
+    def discard(self, pool: ProcessPoolExecutor) -> None:
+        """Drop a pool we no longer trust. Never a blocking shutdown: a
+        wedged worker would hang it forever, and cancel_futures strands
+        nothing we keep — unfinished points are resubmitted elsewhere."""
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    def shutdown_all(self) -> None:
+        for pool in self._idle.values():
+            pool.shutdown(wait=False, cancel_futures=True)
+        self._idle.clear()
+
+    def idle_count(self) -> int:
+        return len(self._idle)
+
+
+_POOLS = _PoolManager()
+atexit.register(_POOLS.shutdown_all)
+
+
+def shutdown_worker_pools() -> None:
+    """Tear down every warm worker pool (tests, embedders)."""
+    _POOLS.shutdown_all()
 
 
 # ----------------------------------------------------------------------
@@ -212,21 +410,30 @@ def _worker_run_point(task: Tuple[int, int]) -> PointOutcome:
 # ----------------------------------------------------------------------
 
 
-def _salvage_completed(
-    futures: Dict[int, "Future[PointOutcome]"],
+def _chunk_tasks(tasks: Sequence[Tuple[int, int]], size: int) -> List[_Chunk]:
+    """Contiguous chunks in task order — deterministic for a given
+    (missing tasks, size), so retries re-chunk reproducibly."""
+    return [tuple(tasks[i : i + size]) for i in range(0, len(tasks), size)]
+
+
+def _salvage_chunks(
+    submitted: Sequence[Tuple[_Chunk, "Future[List[Tuple[int, PointOutcome]]]"]],
     results: Dict[int, PointOutcome],
 ) -> None:
-    """Harvest every future that finished successfully before the pool
-    broke, without blocking on the ones that did not."""
-    for index, future in futures.items():
-        if index in results or not future.done():
+    """Harvest every chunk that finished cleanly before the pool broke,
+    without blocking on the ones that did not. Completed points are
+    kept; only the genuinely missing ones are resubmitted."""
+    for _chunk, future in submitted:
+        if not future.done():
             continue
         try:
-            results[index] = future.result(timeout=0)
+            outcomes = future.result(timeout=0)
         except BaseException:
             # Broken-pool / cancelled / crashed futures are retried by
             # the caller; only clean outcomes are worth keeping.
             continue
+        for index, outcome in outcomes:
+            results.setdefault(index, outcome)
 
 
 def execute_sweep(
@@ -241,13 +448,27 @@ def execute_sweep(
     point_timeout: Optional[float] = None,
     max_retries: int = 2,
     audit_timers: bool = False,
+    chunk_size: Optional[int] = None,
+    snapshot_transport: str = "auto",
+    cache: Optional[WarmStateCache] = None,
 ) -> List[PointOutcome]:
     """Run one episode per pulse count, optionally across processes.
 
     ``jobs`` follows the CLI convention (``1`` sequential in-process,
-    ``0`` one worker per CPU, ``N`` workers otherwise). Outcomes are
-    returned in ``pulse_counts`` order and are digest-identical whatever
-    ``jobs`` resolves to.
+    ``0`` one worker per available CPU, ``N`` workers otherwise).
+    Outcomes are returned in ``pulse_counts`` order and are
+    digest-identical whatever ``jobs``, ``chunk_size``, or
+    ``snapshot_transport`` resolve to.
+
+    ``chunk_size`` groups points into contiguous per-task chunks
+    (``None`` auto-sizes — see :func:`resolve_chunk_size`).
+    ``snapshot_transport`` picks how the warm-state blob reaches
+    workers: ``auto``/``shm``/``spill`` publish it once under its
+    content digest and ship only a key; ``inline`` ships the blob with
+    the chunk spec (the degenerate fallback). ``cache`` reuses captured
+    snapshots across sweeps (and heals a snapshot that fails to
+    restore by recapturing it — see
+    :meth:`~repro.workload.scenarios.WarmStateCache.restore`).
 
     ``trace_dir`` enables causal tracing: each point writes its canonical
     JSONL trace to ``<trace_dir>/point_<index>_p<pulses>.jsonl`` (the
@@ -261,10 +482,12 @@ def execute_sweep(
     executor, and a wedged worker would block forever:
 
     * ``point_timeout`` bounds the wall-clock wait for each point once
-      the executor starts waiting on it (``None`` = wait forever);
-    * when the pool breaks or a point times out, every already-completed
-      outcome is salvaged and only the missing points are resubmitted to
-      a fresh pool, up to ``max_retries`` extra attempts.
+      the executor starts waiting on it (``None`` = wait forever); a
+      chunk's budget is ``point_timeout * len(chunk)``;
+    * when the pool breaks or a chunk times out, every already-completed
+      outcome is salvaged, the pool is discarded (a wedged worker makes
+      it unreusable), and only the missing points are resubmitted to a
+      fresh pool, up to ``max_retries`` extra attempts.
 
     Deterministic failures — an episode raising ``SimulationError``,
     an invariant or timer-audit violation — are *not* retried: rerunning
@@ -280,72 +503,111 @@ def execute_sweep(
         raise ConfigurationError(
             f"point_timeout must be > 0 seconds, got {point_timeout}"
         )
+    transport = resolve_transport(snapshot_transport)
     if not counts:
         return []
     if trace_dir is not None:
         os.makedirs(trace_dir, exist_ok=True)
 
-    source = _sweep_source(config, len(counts), use_snapshots)
+    source = _sweep_source(config, len(counts), use_snapshots, cache)
     if worker_count == 1 or len(counts) == 1:
-        return [
-            run_point_outcome(
-                _materialise(source),
-                pulses,
-                flap_interval=flap_interval,
-                check_invariants=check_invariants,
-                trace_path=(
-                    _point_trace_path(trace_dir, index, pulses)
-                    if trace_dir is not None
-                    else None
-                ),
-                audit_timers=audit_timers,
+        outcomes: List[PointOutcome] = []
+        for index, pulses in enumerate(counts):
+            if cache is not None and isinstance(source, WarmStateSnapshot):
+                scenario = cache.restore(config)
+            else:
+                scenario = _materialise(source)
+            outcomes.append(
+                run_point_outcome(
+                    scenario,
+                    pulses,
+                    flap_interval=flap_interval,
+                    check_invariants=check_invariants,
+                    trace_path=(
+                        _point_trace_path(trace_dir, index, pulses)
+                        if trace_dir is not None
+                        else None
+                    ),
+                    audit_timers=audit_timers,
+                )
             )
-            for index, pulses in enumerate(counts)
-        ]
+        return outcomes
 
-    context = multiprocessing.get_context(mp_start_method)
+    handle: Optional[SnapshotHandle] = None
+    inline_source: Optional[SweepSource] = None
+    if isinstance(source, WarmStateSnapshot) and transport != "inline":
+        handle = publish_snapshot(source.blob, transport)
+    else:
+        inline_source = source
+    spec = _SweepSpec(
+        handle=handle,
+        source=inline_source,
+        flap_interval=flap_interval,
+        check_invariants=check_invariants,
+        trace_dir=trace_dir,
+        audit_timers=audit_timers,
+    )
+
     tasks = list(enumerate(counts))
+    size = resolve_chunk_size(chunk_size, len(tasks), worker_count)
     results: Dict[int, PointOutcome] = {}
     failures: List[str] = []
     for attempt in range(max_retries + 1):
         missing = [task for task in tasks if task[0] not in results]
         if not missing:
             break
-        pool = ProcessPoolExecutor(
-            max_workers=min(worker_count, len(missing)),
-            mp_context=context,
-            initializer=_init_worker,
-            initargs=(source, flap_interval, check_invariants, trace_dir, audit_timers),
-        )
-        futures: Dict[int, "Future[PointOutcome]"] = {}
+        key, pool = _POOLS.acquire(worker_count, mp_start_method, warm_handle=handle)
+        submitted: List[Tuple[_Chunk, "Future[List[Tuple[int, PointOutcome]]]"]] = []
+        broke = False
         try:
-            for task in missing:
-                futures[task[0]] = pool.submit(_worker_run_point, task)
+            try:
+                for piece in _chunk_tasks(missing, size):
+                    submitted.append(
+                        (piece, pool.submit(_worker_run_chunk, spec, piece))
+                    )
+            except BrokenExecutor as exc:
+                failures.append(
+                    f"attempt {attempt + 1}: pool broke during submission "
+                    f"({type(exc).__name__})"
+                )
+                broke = True
             # Collect in submission order so output ordering never depends
             # on completion order.
-            for index, pulses in missing:
+            for piece, future in submitted:
+                if broke:
+                    break
+                budget = (
+                    point_timeout * len(piece) if point_timeout is not None else None
+                )
+                pulses_in_piece = [pulses for _index, pulses in piece]
                 try:
-                    results[index] = futures[index].result(timeout=point_timeout)
+                    for index, outcome in future.result(timeout=budget):
+                        results[index] = outcome
                 except BrokenExecutor as exc:
                     failures.append(
-                        f"attempt {attempt + 1}: pool broke at point "
-                        f"n={pulses} ({type(exc).__name__})"
+                        f"attempt {attempt + 1}: pool broke at chunk "
+                        f"n={pulses_in_piece} ({type(exc).__name__})"
                     )
+                    broke = True
                     break
                 except FutureTimeoutError:
                     failures.append(
-                        f"attempt {attempt + 1}: point n={pulses} exceeded "
-                        f"{point_timeout}s"
+                        f"attempt {attempt + 1}: chunk n={pulses_in_piece} "
+                        f"exceeded {budget}s"
                     )
+                    broke = True
                     break
-            else:
-                continue  # every missing point resolved; loop exits above
-            _salvage_completed(futures, results)
-        finally:
-            # Never rely on a blocking shutdown: a wedged worker would
-            # hang it forever. cancel_futures strands nothing we keep —
-            # unfinished points are resubmitted to the next pool.
-            pool.shutdown(wait=False, cancel_futures=True)
+        except BaseException:
+            # Deterministic episode errors propagate immediately; the
+            # pool may be healthy but its outstanding chunks are moot,
+            # so drop it rather than hand it to the next sweep mid-drain.
+            _POOLS.discard(pool)
+            raise
+        if broke:
+            _salvage_chunks(submitted, results)
+            _POOLS.discard(pool)
+        else:
+            _POOLS.release(key, pool)
 
     still_missing = sorted(
         pulses for index, pulses in tasks if index not in results
@@ -362,8 +624,11 @@ def execute_sweep(
 __all__ = [
     "PointOutcome",
     "SweepSource",
+    "available_cpus",
     "derive_seed",
     "execute_sweep",
+    "resolve_chunk_size",
     "resolve_jobs",
     "run_point_outcome",
+    "shutdown_worker_pools",
 ]

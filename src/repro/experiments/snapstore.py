@@ -1,0 +1,262 @@
+"""Content-addressed snapshot transport for the sweep executor.
+
+A warm-state snapshot blob is identical for every point of a sweep (and
+for every sweep over the same config), so it should cross the process
+boundary **zero** times per point. This module gives the executor a
+content-addressed store: the parent publishes a blob once under its
+SHA-256 digest, ships workers only a tiny :class:`SnapshotHandle`
+(kind + key + digest, ~100 bytes), and each worker fetches the bytes at
+most once per digest — every later point of every later chunk reuses
+the worker-local cache.
+
+Three transports, selected by ``--snapshot-transport``:
+
+``shm``
+    ``multiprocessing.shared_memory``: the parent writes the blob into
+    a named segment; workers attach by name and copy it out. Zero
+    filesystem traffic; the parent owns the segment's lifetime and
+    unlinks it at interpreter exit. Spawn workers share the parent's
+    resource-tracker process, so attaching never double-registers and
+    workers must never unregister — the publisher's unlink is the only
+    lifecycle event.
+``spill``
+    A file ``<tmpdir>/<digest>.snap`` written once (atomically) by the
+    parent; workers read it. Repeated reads are served from the OS page
+    cache. The fallback wherever shared memory is unavailable.
+``inline``
+    The blob rides inside the handle itself — one pickle per pool, the
+    pre-transport behaviour. Kept as the degenerate fallback and for
+    the hardening tests' in-process fake pools.
+
+``auto`` resolves to ``shm`` when the platform supports it, else
+``spill``. Publishing is idempotent per (transport, digest) and the
+published registry is module-level, so multi-sweep runs (e.g. ablation
+grids replaying one config through ``WarmStateCache``) publish once
+across executor instances.
+
+Workers verify the fetched bytes against the handle's digest (one
+re-read on mismatch) before caching, so a trashed segment or truncated
+spill file surfaces as a loud error instead of a corrupt episode.
+"""
+
+from __future__ import annotations
+
+import atexit
+import hashlib
+import os
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ConfigurationError, SimulationError
+
+try:  # pragma: no cover - import probe, platform-dependent
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - very old / exotic platforms
+    _shared_memory = None  # type: ignore[assignment]
+
+#: Accepted ``--snapshot-transport`` values.
+TRANSPORTS = ("auto", "shm", "spill", "inline")
+
+#: Blobs a worker keeps decoded-source bytes for; sweeps touch one
+#: snapshot at a time, so a small LRU covers interleaved multi-config
+#: grids without letting a long-lived worker accumulate every blob ever.
+_FETCH_CACHE_MAX = 4
+
+
+def blob_digest(blob: bytes) -> str:
+    """The content address of a snapshot blob (SHA-256 hex)."""
+    return hashlib.sha256(blob).hexdigest()
+
+
+def resolve_transport(requested: str) -> str:
+    """Normalise a transport name, resolving ``auto`` for this host."""
+    if requested not in TRANSPORTS:
+        raise ConfigurationError(
+            f"snapshot_transport must be one of {TRANSPORTS}, got {requested!r}"
+        )
+    if requested != "auto":
+        return requested
+    return "shm" if _shared_memory is not None else "spill"
+
+
+@dataclass(frozen=True)
+class SnapshotHandle:
+    """A picklable reference to a published blob — what crosses the
+    process boundary instead of the blob itself.
+
+    ``key`` is the shared-memory segment name or the spill file path;
+    ``payload`` carries the bytes only for the ``inline`` kind.
+    """
+
+    kind: str
+    key: str
+    size: int
+    digest: str
+    payload: Optional[bytes] = None
+
+
+# ----------------------------------------------------------------------
+# parent side: publish
+# ----------------------------------------------------------------------
+
+
+class SnapshotPublisher:
+    """Owns published segments/spill files for one parent process."""
+
+    def __init__(self) -> None:
+        self._handles: Dict[Tuple[str, str], SnapshotHandle] = {}
+        self._segments: Dict[str, object] = {}
+        self._spill_dir: Optional[str] = None
+
+    def publish(self, blob: bytes, transport: str) -> SnapshotHandle:
+        """Make ``blob`` fetchable and return its handle (idempotent)."""
+        kind = resolve_transport(transport)
+        digest = blob_digest(blob)
+        cached = self._handles.get((kind, digest))
+        if cached is not None:
+            return cached
+        if kind == "shm":
+            handle = self._publish_shm(blob, digest)
+        elif kind == "spill":
+            handle = self._publish_spill(blob, digest)
+        else:
+            handle = SnapshotHandle("inline", "", len(blob), digest, payload=blob)
+        self._handles[(handle.kind, digest)] = handle
+        return handle
+
+    def _publish_shm(self, blob: bytes, digest: str) -> SnapshotHandle:
+        if _shared_memory is None:
+            return self._publish_spill(blob, digest)
+        name = f"rfdsnap_{os.getpid()}_{digest[:16]}"
+        try:
+            segment = _shared_memory.SharedMemory(
+                name=name, create=True, size=len(blob)
+            )
+        except (OSError, ValueError):
+            # No /dev/shm, size limits, name clash from a dead run —
+            # degrade to the spill directory rather than failing a sweep.
+            return self._publish_spill(blob, digest)
+        segment.buf[: len(blob)] = blob
+        self._segments[name] = segment
+        return SnapshotHandle("shm", name, len(blob), digest)
+
+    def _publish_spill(self, blob: bytes, digest: str) -> SnapshotHandle:
+        if self._spill_dir is None:
+            self._spill_dir = tempfile.mkdtemp(prefix="rfd-snapshots-")
+        path = os.path.join(self._spill_dir, f"{digest}.snap")
+        if not os.path.exists(path):
+            # Atomic publish: a worker never observes a half-written blob.
+            scratch = path + ".tmp"
+            with open(scratch, "wb") as handle:
+                handle.write(blob)
+            os.replace(scratch, path)
+        return SnapshotHandle("spill", path, len(blob), digest)
+
+    def close(self) -> None:
+        """Unlink every published segment and spill file."""
+        for name, segment in self._segments.items():
+            try:
+                segment.close()  # type: ignore[attr-defined]
+                segment.unlink()  # type: ignore[attr-defined]
+            except (OSError, FileNotFoundError):  # pragma: no cover - defensive
+                pass
+        self._segments.clear()
+        if self._spill_dir is not None:
+            for entry in sorted(os.listdir(self._spill_dir)):
+                try:
+                    os.remove(os.path.join(self._spill_dir, entry))
+                except OSError:  # pragma: no cover - defensive
+                    pass
+            try:
+                os.rmdir(self._spill_dir)
+            except OSError:  # pragma: no cover - defensive
+                pass
+            self._spill_dir = None
+        self._handles.clear()
+
+
+_PUBLISHER = SnapshotPublisher()
+atexit.register(_PUBLISHER.close)
+
+
+def publish_snapshot(blob: bytes, transport: str = "auto") -> SnapshotHandle:
+    """Publish through the process-wide registry (once per digest)."""
+    return _PUBLISHER.publish(blob, transport)
+
+
+# ----------------------------------------------------------------------
+# worker side: fetch
+# ----------------------------------------------------------------------
+
+#: Worker-local blob cache keyed by digest. With persistent workers this
+#: is what makes the blob cross the boundary zero times per point: the
+#: first chunk touching a digest pays one fetch, every later one hits.
+_FETCH_CACHE: "OrderedDict[str, bytes]" = OrderedDict()
+
+
+def _read_once(handle: SnapshotHandle) -> bytes:
+    if handle.kind == "inline":
+        if handle.payload is None:
+            raise SimulationError("inline snapshot handle carries no payload")
+        return handle.payload
+    if handle.kind == "spill":
+        with open(handle.key, "rb") as stream:
+            return stream.read()
+    if handle.kind == "shm":
+        if _shared_memory is None:  # pragma: no cover - publisher gates this
+            raise SimulationError("shared memory unavailable in this worker")
+        segment = _shared_memory.SharedMemory(name=handle.key, create=False)
+        try:
+            data = bytes(segment.buf[: handle.size])
+        finally:
+            segment.close()
+            # Deliberately no resource-tracker unregister here: spawn
+            # workers share the parent's tracker process, whose cache is
+            # a *set* of names — the attach-side register is a no-op and
+            # an unregister would clobber the publisher's registration,
+            # making its unlink at close double-unregister (KeyError in
+            # the tracker). The publisher owns the segment's lifetime.
+        return data
+    raise SimulationError(f"unknown snapshot transport kind {handle.kind!r}")
+
+
+def fetch_blob(handle: SnapshotHandle) -> bytes:
+    """The blob for ``handle``, digest-verified and cached per process."""
+    cached = _FETCH_CACHE.get(handle.digest)
+    if cached is not None:
+        _FETCH_CACHE.move_to_end(handle.digest)
+        return cached
+    blob = _read_once(handle)
+    if blob_digest(blob) != handle.digest:
+        # One retry covers a racing first read; a second mismatch means
+        # the published bytes really are corrupt.
+        blob = _read_once(handle)
+        if blob_digest(blob) != handle.digest:
+            raise SimulationError(
+                f"snapshot transport corrupted: {handle.kind} key "
+                f"{handle.key!r} does not hash to {handle.digest[:16]}…"
+            )
+    _FETCH_CACHE[handle.digest] = blob
+    while len(_FETCH_CACHE) > _FETCH_CACHE_MAX:
+        _FETCH_CACHE.popitem(last=False)
+    return blob
+
+
+def reset_transport_state() -> None:
+    """Drop every published blob and cached fetch (tests, reloads)."""
+    _PUBLISHER.close()
+    _FETCH_CACHE.clear()
+
+
+__all__ = [
+    "SnapshotHandle",
+    "SnapshotPublisher",
+    "TRANSPORTS",
+    "blob_digest",
+    "fetch_blob",
+    "publish_snapshot",
+    "reset_transport_state",
+    "resolve_transport",
+]

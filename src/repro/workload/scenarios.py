@@ -25,6 +25,7 @@ engine's clock and sequence counter, and all protocol state exactly.
 
 from __future__ import annotations
 
+import hashlib
 import pickle
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace
@@ -510,7 +511,7 @@ class WarmStateSnapshot:
     :mod:`repro.experiments.parallel`).
     """
 
-    __slots__ = ("config", "blob", "warmup_convergence")
+    __slots__ = ("config", "blob", "warmup_convergence", "_digest")
 
     def __init__(
         self, config: ScenarioConfig, blob: bytes, warmup_convergence: float
@@ -518,17 +519,27 @@ class WarmStateSnapshot:
         self.config = config
         self.blob = blob
         self.warmup_convergence = warmup_convergence
+        self._digest: Optional[str] = None
 
     def __getstate__(self) -> Tuple[ScenarioConfig, bytes, float]:
         return (self.config, self.blob, self.warmup_convergence)
 
     def __setstate__(self, state: Tuple[ScenarioConfig, bytes, float]) -> None:
         self.config, self.blob, self.warmup_convergence = state
+        self._digest = None
 
     @property
     def size_bytes(self) -> int:
         """Size of the pickled scenario state."""
         return len(self.blob)
+
+    @property
+    def digest(self) -> str:
+        """Content address of the blob (SHA-256 hex) — the key the sweep
+        executor's snapshot transport publishes and fetches under."""
+        if self._digest is None:
+            self._digest = hashlib.sha256(self.blob).hexdigest()
+        return self._digest
 
     @classmethod
     def capture(cls, config: ScenarioConfig) -> "WarmStateSnapshot":
@@ -564,6 +575,10 @@ class WarmStateCache:
     per point. Entries hold a strong reference to their config, keeping
     the topology object (part of the cache key by identity) alive for as
     long as the entry exists.
+
+    ``hits``/``misses`` count lookups served from the cache versus ones
+    that paid a warm-up capture — the observable behind the multi-sweep
+    reuse guarantee (the second sweep over a config must be all hits).
     """
 
     def __init__(self, max_entries: int = 8) -> None:
@@ -573,6 +588,8 @@ class WarmStateCache:
             )
         self._max_entries = max_entries
         self._entries: "OrderedDict[Hashable, WarmStateSnapshot]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -582,16 +599,40 @@ class WarmStateCache:
         key = _config_cache_key(config)
         snapshot = self._entries.get(key)
         if snapshot is None:
+            self.misses += 1
             snapshot = WarmStateSnapshot.capture(config)
             self._entries[key] = snapshot
             if len(self._entries) > self._max_entries:
                 self._entries.popitem(last=False)
         else:
+            self.hits += 1
             self._entries.move_to_end(key)
         return snapshot
 
+    def restore(self, config: ScenarioConfig) -> Scenario:
+        """An independent scenario from the cached snapshot for ``config``.
+
+        A snapshot that fails to restore (a corrupted blob, or state
+        pickled by an incompatible build in a long-lived process) is
+        evicted and recaptured once — healing beats poisoning every
+        later point of the sweep with the same broken bytes. A snapshot
+        that fails even freshly recaptured is a real bug and propagates.
+        """
+        snapshot = self.get(config)
+        try:
+            return snapshot.restore()
+        except Exception:
+            self.invalidate(config)
+            return self.get(config).restore()
+
+    def invalidate(self, config: ScenarioConfig) -> bool:
+        """Drop the entry for ``config``; True when one existed."""
+        return self._entries.pop(_config_cache_key(config), None) is not None
+
     def clear(self) -> None:
         self._entries.clear()
+        self.hits = 0
+        self.misses = 0
 
 
 def _config_cache_key(config: ScenarioConfig) -> Hashable:

@@ -98,3 +98,118 @@ def test_missing_baseline_is_a_distinct_error(compare_perf, tmp_path, capsys):
     )
     assert code == 2
     assert "compare_perf:" in capsys.readouterr().err
+
+
+def _perf_file_with_host(tmp_path, name, benchmarks, host):
+    path = tmp_path / name
+    path.write_text(
+        json.dumps({"schema": 1, "host": host, "benchmarks": benchmarks}),
+        encoding="utf-8",
+    )
+    return str(path)
+
+
+def test_parallel_entries_from_different_core_counts_are_incomparable(
+    compare_perf, tmp_path, capsys
+):
+    """A jobs=2 number recorded on 1 CPU vs 2 CPUs is not a regression
+    (or an improvement) — it is two different experiments."""
+    baseline = _perf_file(
+        tmp_path, "base.json", {"sweep": {"seconds": 4.0, "cpu_count": 1}}
+    )
+    current = _perf_file(
+        tmp_path, "cur.json", {"sweep": {"seconds": 9.0, "cpu_count": 2}}
+    )
+    # 2.25x slower would normally fail; differing core counts must not.
+    assert compare_perf.main(["--baseline", baseline, "--current", current]) == 0
+    out = capsys.readouterr().out
+    assert "incomparable (cpu_count 1 vs 2)" in out
+
+
+def test_same_core_count_parallel_entries_still_gate(compare_perf, tmp_path):
+    baseline = _perf_file(
+        tmp_path, "base.json", {"sweep": {"seconds": 4.0, "cpu_count": 2}}
+    )
+    current = _perf_file(
+        tmp_path, "cur.json", {"sweep": {"seconds": 9.0, "cpu_count": 2}}
+    )
+    assert compare_perf.main(["--baseline", baseline, "--current", current]) == 1
+
+
+def test_min_speedup_gate_fails_when_parallel_loses(compare_perf, tmp_path, capsys):
+    benchmarks = {
+        "sweep": {"seconds": 2.0, "cpu_count": 2, "speedup_vs_sequential": 0.8}
+    }
+    baseline = _perf_file(tmp_path, "base.json", benchmarks)
+    current = _perf_file(tmp_path, "cur.json", benchmarks)
+    code = compare_perf.main(
+        [
+            "--baseline", baseline,
+            "--current", current,
+            "--min-speedup", "sweep=1.0",
+        ]
+    )
+    assert code == 1
+    assert "0.80 is below the required 1.00" in capsys.readouterr().err
+
+
+def test_min_speedup_gate_passes_and_reports(compare_perf, tmp_path, capsys):
+    benchmarks = {
+        "sweep": {"seconds": 2.0, "cpu_count": 2, "speedup_vs_sequential": 1.4}
+    }
+    baseline = _perf_file(tmp_path, "base.json", benchmarks)
+    current = _perf_file(tmp_path, "cur.json", benchmarks)
+    code = compare_perf.main(
+        [
+            "--baseline", baseline,
+            "--current", current,
+            "--min-speedup", "sweep=1.0",
+        ]
+    )
+    assert code == 0
+    assert "1.40 >= 1.00" in capsys.readouterr().out
+
+
+def test_min_speedup_gate_skips_on_single_core_hosts(compare_perf, tmp_path, capsys):
+    """The committed perf.json may come from a 1-CPU box, where parallel
+    >= sequential is unsatisfiable; the gate must skip loudly, not fail."""
+    benchmarks = {
+        "sweep": {"seconds": 2.0, "cpu_count": 1, "speedup_vs_sequential": 0.9}
+    }
+    baseline = _perf_file(tmp_path, "base.json", benchmarks)
+    current = _perf_file(tmp_path, "cur.json", benchmarks)
+    code = compare_perf.main(
+        [
+            "--baseline", baseline,
+            "--current", current,
+            "--min-speedup", "sweep=1.0",
+        ]
+    )
+    assert code == 0
+    assert "speedup gate skipped" in capsys.readouterr().out
+
+
+def test_min_speedup_gate_fails_on_missing_benchmark(compare_perf, tmp_path, capsys):
+    benchmarks = {"other": {"seconds": 1.0}}
+    baseline = _perf_file(tmp_path, "base.json", benchmarks)
+    current = _perf_file(tmp_path, "cur.json", benchmarks)
+    code = compare_perf.main(
+        [
+            "--baseline", baseline,
+            "--current", current,
+            "--min-speedup", "sweep=1.0",
+        ]
+    )
+    assert code == 1
+    assert "no such benchmark" in capsys.readouterr().err
+
+
+def test_min_speedup_rejects_malformed_spec(compare_perf, tmp_path, capsys):
+    benchmarks = {"sweep": {"seconds": 1.0}}
+    baseline = _perf_file(tmp_path, "base.json", benchmarks)
+    current = _perf_file(tmp_path, "cur.json", benchmarks)
+    code = compare_perf.main(
+        ["--baseline", baseline, "--current", current, "--min-speedup", "nonsense"]
+    )
+    assert code == 2
+    assert "NAME=RATIO" in capsys.readouterr().err

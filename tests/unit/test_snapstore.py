@@ -1,0 +1,118 @@
+"""Unit tests for the content-addressed snapshot transport.
+
+Publisher and fetcher run in one process here — the transports are
+plain OS objects (shared-memory segments, spill files), so attach/read
+semantics are identical to the cross-process case, minus the spawn.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+import repro.experiments.snapstore as snapstore
+from repro.errors import ConfigurationError, SimulationError
+from repro.experiments.snapstore import (
+    SnapshotHandle,
+    SnapshotPublisher,
+    blob_digest,
+    fetch_blob,
+    publish_snapshot,
+    resolve_transport,
+)
+
+BLOB = b"warm-state-bytes" * 1000
+
+
+@pytest.fixture(autouse=True)
+def _clean_transport_state():
+    snapstore.reset_transport_state()
+    yield
+    snapstore.reset_transport_state()
+
+
+def test_resolve_transport_rejects_unknown_names():
+    with pytest.raises(ConfigurationError, match="snapshot_transport"):
+        resolve_transport("carrier-pigeon")
+
+
+def test_resolve_auto_never_returns_auto_or_inline():
+    assert resolve_transport("auto") in ("shm", "spill")
+
+
+@pytest.mark.parametrize("transport", ["shm", "spill", "inline"])
+def test_publish_fetch_roundtrip(transport):
+    handle = publish_snapshot(BLOB, transport)
+    assert handle.digest == blob_digest(BLOB)
+    assert handle.size == len(BLOB)
+    assert fetch_blob(handle) == BLOB
+
+
+def test_publish_is_idempotent_per_digest():
+    first = publish_snapshot(BLOB, "spill")
+    second = publish_snapshot(BLOB, "spill")
+    assert first is second
+    # A different blob gets its own key.
+    other = publish_snapshot(b"other", "spill")
+    assert other.key != first.key
+
+
+def test_fetch_is_cached_per_digest(tmp_path):
+    handle = publish_snapshot(BLOB, "spill")
+    assert fetch_blob(handle) == BLOB
+    # Delete the backing file: a second fetch must be served from the
+    # worker-local cache without touching the transport again.
+    os.remove(handle.key)
+    assert fetch_blob(handle) == BLOB
+
+
+def test_corrupted_spill_file_raises_loudly():
+    handle = publish_snapshot(BLOB, "spill")
+    with open(handle.key, "wb") as stream:
+        stream.write(b"trashed")
+    with pytest.raises(SimulationError, match="snapshot transport corrupted"):
+        fetch_blob(handle)
+
+
+def test_inline_handle_without_payload_raises():
+    bogus = SnapshotHandle("inline", "", 3, blob_digest(b"abc"), payload=None)
+    with pytest.raises(SimulationError, match="no payload"):
+        fetch_blob(bogus)
+
+
+def test_unknown_kind_raises():
+    bogus = SnapshotHandle("telepathy", "k", 3, blob_digest(b"abc"))
+    with pytest.raises(SimulationError, match="unknown snapshot transport"):
+        fetch_blob(bogus)
+
+
+def test_publisher_close_removes_spill_directory():
+    publisher = SnapshotPublisher()
+    handle = publisher.publish(BLOB, "spill")
+    spill_dir = os.path.dirname(handle.key)
+    assert os.path.exists(handle.key)
+    publisher.close()
+    assert not os.path.exists(spill_dir)
+
+
+def test_shm_falls_back_to_spill_when_unavailable(monkeypatch):
+    monkeypatch.setattr(snapstore, "_shared_memory", None)
+    publisher = SnapshotPublisher()
+    handle = publisher.publish(BLOB, "shm")
+    assert handle.kind == "spill"
+    assert fetch_blob(handle) == BLOB
+    publisher.close()
+
+
+def test_fetch_cache_is_bounded():
+    handles = [
+        publish_snapshot(f"blob-{i}".encode() * 500, "spill")
+        for i in range(snapstore._FETCH_CACHE_MAX + 2)
+    ]
+    for handle in handles:
+        fetch_blob(handle)
+    assert len(snapstore._FETCH_CACHE) == snapstore._FETCH_CACHE_MAX
+    # The newest digests survive; the oldest were evicted.
+    assert handles[-1].digest in snapstore._FETCH_CACHE
+    assert handles[0].digest not in snapstore._FETCH_CACHE

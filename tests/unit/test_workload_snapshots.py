@@ -125,3 +125,82 @@ class TestWarmStateCache:
         # id(topology) and topology.name both stand in for the topology
         # field, hence one extra element.
         assert len(key) == key_fields + 1
+
+    def test_hit_and_miss_counters_across_two_sweeps(self):
+        """Two sweeps over the same config: the first pays one capture,
+        the second is served entirely from the cache."""
+        cache = WarmStateCache()
+        config = small_mesh_config()
+        first_sweep = [cache.get(config) for _ in range(3)]
+        assert (cache.hits, cache.misses) == (2, 1)
+        second_sweep = [cache.get(config) for _ in range(3)]
+        assert (cache.hits, cache.misses) == (5, 1)
+        assert all(s is first_sweep[0] for s in first_sweep + second_sweep)
+
+    def test_digest_keyed_identity_across_equal_configs(self):
+        """Equal configs (same topology object, same fields) hit one
+        entry, and its blob digest is stable."""
+        cache = WarmStateCache()
+        a = cache.get(small_mesh_config(seed=5))
+        b = cache.get(small_mesh_config(seed=5))
+        assert a is b
+        assert a.digest == WarmStateSnapshot.capture(small_mesh_config(seed=5)).digest
+
+    def test_lru_eviction_order_follows_recency_of_use(self):
+        """Touching an entry must move it to the back of the eviction
+        queue — eviction is least-recently-*used*, not least-recently-
+        captured."""
+        cache = WarmStateCache(max_entries=2)
+        first = cache.get(small_mesh_config(seed=1))
+        second = cache.get(small_mesh_config(seed=2))
+        # Refresh seed=1, then insert seed=3: seed=2 is now the LRU entry.
+        assert cache.get(small_mesh_config(seed=1)) is first
+        cache.get(small_mesh_config(seed=3))
+        assert cache.get(small_mesh_config(seed=1)) is first  # survived
+        assert cache.get(small_mesh_config(seed=2)) is not second  # evicted
+
+    def test_invalidate_drops_only_the_named_config(self):
+        cache = WarmStateCache()
+        cache.get(small_mesh_config(seed=1))
+        kept = cache.get(small_mesh_config(seed=2))
+        assert cache.invalidate(small_mesh_config(seed=1)) is True
+        assert cache.invalidate(small_mesh_config(seed=1)) is False
+        assert len(cache) == 1
+        assert cache.get(small_mesh_config(seed=2)) is kept
+
+    def test_restore_heals_a_snapshot_that_fails_to_restore(self):
+        """A corrupted cached blob is evicted and recaptured once, and
+        the healed snapshot restores a scenario that runs digest-
+        identically to a fresh warm-up."""
+        cache = WarmStateCache()
+        config = small_mesh_config()
+        poisoned = cache.get(config)
+        poisoned.blob = b"not a pickle"
+        scenario = cache.restore(config)
+        result = scenario.run(PulseSchedule.regular(1, 60.0))
+        assert run_digest(result.collector) == fresh_digest(config, 1)
+        # The poisoned entry was replaced, and healing cost one extra miss.
+        assert cache.get(config) is not poisoned
+        assert cache.misses == 2
+
+    def test_clear_resets_entries_and_counters(self):
+        cache = WarmStateCache()
+        cache.get(small_mesh_config())
+        cache.get(small_mesh_config())
+        cache.clear()
+        assert len(cache) == 0
+        assert (cache.hits, cache.misses) == (0, 0)
+
+
+class TestSnapshotDigest:
+    def test_digest_is_content_addressed_and_cached(self):
+        snapshot = WarmStateSnapshot.capture(small_mesh_config())
+        import hashlib
+
+        assert snapshot.digest == hashlib.sha256(snapshot.blob).hexdigest()
+        assert snapshot.digest is snapshot.digest  # memoised
+
+    def test_digest_survives_pickling(self):
+        snapshot = WarmStateSnapshot.capture(small_mesh_config())
+        clone = pickle.loads(pickle.dumps(snapshot))
+        assert clone.digest == snapshot.digest
