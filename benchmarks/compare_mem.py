@@ -1,0 +1,197 @@
+#!/usr/bin/env python3
+"""Compare a fresh scale-episode measurement against the committed
+memory baseline.
+
+CI's ``scale-smoke`` job runs the 1k-node flap episode (which writes
+``benchmarks/results/mem.json`` — the ``topo bench --json`` /
+``ScaleEpisodeResult.as_dict()`` document) and then this script, which
+fails the job when:
+
+- ``peak_rss_bytes`` grew beyond ``--rss-threshold`` times the
+  committed ``mem_baseline.json`` value (default 1.30x), or breaches
+  the absolute ``--max-rss-mb`` ceiling when given;
+- ``total_seconds`` grew beyond ``--time-threshold`` times the
+  baseline (default 2.0x — wall clock on shared runners is noisy, the
+  gate exists to catch order-of-magnitude scaling regressions, the
+  perf gate's tighter 1.25x handles steady-state drift), or breaches
+  the absolute ``--max-seconds`` budget when given.
+
+The wall-clock comparison is skipped (with an explicit notice) when the
+current host has fewer than 2 CPUs — mirroring ``compare_perf.py``'s
+speedup-gate skip — because a contended single-core runner measures
+scheduler luck, not the simulator. The RSS comparison always runs:
+resident memory does not depend on core count.
+
+The two documents must describe the same workload: ``nodes``, ``seed``,
+``pulses``, and ``coalesce_delivery`` have to match, otherwise the
+comparison is meaningless and the script fails loudly. When the
+episode digest is present on both sides a mismatch also fails — a
+digest change means the workload itself changed, so refresh the
+baseline deliberately (see docs/SCALING.md) rather than letting the
+memory numbers drift with it.
+
+Stdlib-only on purpose: the gate must not depend on anything the test
+extra does not already install.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+WORKLOAD_KEYS = ("nodes", "seed", "pulses", "coalesce_delivery")
+
+
+def load_measurement(path):
+    """One scale-episode measurement document (``topo bench --json``)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    for key in ("peak_rss_bytes", "total_seconds"):
+        if not isinstance(payload.get(key), (int, float)):
+            raise ValueError(f"{path}: no numeric {key!r} (schema changed?)")
+    return payload
+
+
+def host_cpus():
+    """The CPU count the wall-clock skip keys on (affinity-aware where
+    the platform supports it)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-linux
+        return os.cpu_count() or 1
+
+
+def check_workload_match(baseline, current):
+    """Failure strings when the two documents measured different work."""
+    failures = []
+    for key in WORKLOAD_KEYS:
+        if baseline.get(key) != current.get(key):
+            failures.append(
+                f"workload mismatch on {key!r}: baseline "
+                f"{baseline.get(key)!r} vs current {current.get(key)!r}"
+            )
+    base_digest = baseline.get("digest")
+    cur_digest = current.get("digest")
+    if base_digest and cur_digest and base_digest != cur_digest:
+        failures.append(
+            f"episode digest changed ({base_digest[:12]}… -> "
+            f"{cur_digest[:12]}…): the workload itself differs; refresh "
+            f"mem_baseline.json in the PR that legitimately changes it"
+        )
+    return failures
+
+
+def compare(baseline, current, args, cpus):
+    """(failures, notices) for the RSS and wall-clock gates."""
+    failures = []
+    notices = []
+
+    base_rss = float(baseline["peak_rss_bytes"])
+    cur_rss = float(current["peak_rss_bytes"])
+    ratio = cur_rss / base_rss if base_rss > 0 else float("inf")
+    notices.append(
+        f"peak RSS {cur_rss / 1024**2:.1f} MB vs baseline "
+        f"{base_rss / 1024**2:.1f} MB ({ratio:.2f}x, threshold "
+        f"{args.rss_threshold:.2f}x)"
+    )
+    if ratio > args.rss_threshold:
+        failures.append(
+            f"peak RSS regressed {ratio:.2f}x beyond the "
+            f"{args.rss_threshold:.2f}x threshold "
+            f"({base_rss / 1024**2:.1f} MB -> {cur_rss / 1024**2:.1f} MB)"
+        )
+    if args.max_rss_mb is not None and cur_rss > args.max_rss_mb * 1024**2:
+        failures.append(
+            f"peak RSS {cur_rss / 1024**2:.1f} MB breaches the absolute "
+            f"{args.max_rss_mb:.0f} MB ceiling"
+        )
+
+    base_s = float(baseline["total_seconds"])
+    cur_s = float(current["total_seconds"])
+    if cpus < 2:
+        notices.append(
+            f"wall-clock budget skipped — {cpus}-CPU host, where episode "
+            f"timing measures contention rather than the simulator"
+        )
+        return failures, notices
+    ratio = cur_s / base_s if base_s > 0 else float("inf")
+    notices.append(
+        f"wall clock {cur_s:.2f}s vs baseline {base_s:.2f}s "
+        f"({ratio:.2f}x, threshold {args.time_threshold:.2f}x)"
+    )
+    if ratio > args.time_threshold:
+        failures.append(
+            f"episode wall clock regressed {ratio:.2f}x beyond the "
+            f"{args.time_threshold:.2f}x threshold "
+            f"({base_s:.2f}s -> {cur_s:.2f}s)"
+        )
+    if args.max_seconds is not None and cur_s > args.max_seconds:
+        failures.append(
+            f"episode took {cur_s:.2f}s, over the absolute "
+            f"{args.max_seconds:.1f}s budget"
+        )
+    return failures, notices
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        default="benchmarks/results/mem_baseline.json",
+        help="committed baseline measurement JSON",
+    )
+    parser.add_argument(
+        "--current",
+        default="benchmarks/results/mem.json",
+        help="freshly measured scale-episode JSON",
+    )
+    parser.add_argument(
+        "--rss-threshold",
+        type=float,
+        default=1.30,
+        help="fail when current/baseline peak RSS exceeds this ratio (default 1.30)",
+    )
+    parser.add_argument(
+        "--time-threshold",
+        type=float,
+        default=2.0,
+        help="fail when current/baseline wall clock exceeds this ratio (default 2.0)",
+    )
+    parser.add_argument(
+        "--max-rss-mb",
+        type=float,
+        default=None,
+        help="absolute peak-RSS ceiling in MB (optional)",
+    )
+    parser.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        help="absolute wall-clock budget in seconds (optional)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = load_measurement(args.baseline)
+        current = load_measurement(args.current)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"compare_mem: {exc}", file=sys.stderr)
+        return 2
+
+    failures = check_workload_match(baseline, current)
+    if not failures:
+        gate_failures, notices = compare(baseline, current, args, host_cpus())
+        failures.extend(gate_failures)
+        for notice in notices:
+            print(f"compare_mem: {notice}")
+
+    if failures:
+        for failure in failures:
+            print(f"compare_mem: {failure}", file=sys.stderr)
+        return 1
+    print("compare_mem: scale episode within memory and wall-clock budgets")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

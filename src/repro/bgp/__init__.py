@@ -14,6 +14,7 @@ from repro.bgp.attrs import Route
 from repro.bgp.messages import UpdateMessage
 from repro.bgp.mrai import MraiConfig
 from repro.bgp.origin import OriginRouter
+from repro.bgp.paths import PathTable, global_path_table, intern_path
 from repro.bgp.policy import NoValleyPolicy, RoutingPolicy, ShortestPathPolicy
 from repro.bgp.router import BgpRouter, RouterConfig
 
@@ -22,7 +23,10 @@ __all__ = [
     "MraiConfig",
     "NoValleyPolicy",
     "OriginRouter",
+    "PathTable",
     "Route",
+    "global_path_table",
+    "intern_path",
     "RouterConfig",
     "RoutingPolicy",
     "ShortestPathPolicy",

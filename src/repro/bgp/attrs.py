@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Tuple
 
+from repro.bgp.paths import intern_path
 from repro.errors import ProtocolError
 
 
@@ -35,6 +36,10 @@ class Route:
             raise ProtocolError("route prefix must be non-empty")
         if not self.as_path:
             raise ProtocolError(f"route for {self.prefix!r} must have a non-empty AS path")
+        # Flyweight the path: equal paths share one tuple object, so the
+        # equality tests below (and in the RIBs) usually short-circuit on
+        # identity, and large-graph runs store each distinct path once.
+        object.__setattr__(self, "as_path", intern_path(self.as_path))
 
     @property
     def path_length(self) -> int:
@@ -73,7 +78,10 @@ class Route:
 
     def same_attributes(self, other: "Route") -> bool:
         """Attribute-level equality (ignores which peer it came from)."""
-        return self.prefix == other.prefix and self.as_path == other.as_path
+        # Interned paths make the identity check the common success case.
+        return self.prefix == other.prefix and (
+            self.as_path is other.as_path or self.as_path == other.as_path
+        )
 
     def __str__(self) -> str:
         return f"{self.prefix} via [{' '.join(self.as_path)}]"

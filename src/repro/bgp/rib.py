@@ -83,7 +83,8 @@ class AdjRibIn:
             return None
         if entry.route is None:
             return UpdateKind.REANNOUNCEMENT
-        if entry.route.as_path == as_path:
+        stored = entry.route.as_path
+        if stored is as_path or stored == as_path:
             return UpdateKind.DUPLICATE
         return UpdateKind.ATTRIBUTE_CHANGE
 

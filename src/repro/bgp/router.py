@@ -366,7 +366,9 @@ class BgpRouter(Node):
             if self.config.mrai.apply_to_withdrawals:
                 self.mrai.note_sent(peer)
             return
-        if current is not None and current.as_path == desired.as_path:
+        if current is not None and (
+            current.as_path is desired.as_path or current.as_path == desired.as_path
+        ):
             return
         if not self.mrai.may_send_now(peer):
             self.mrai.defer(peer, prefix)
@@ -387,7 +389,10 @@ class BgpRouter(Node):
                 if current is not None:
                     self._send_withdrawal(peer, prefix)
                     sent = True
-            elif current is None or current.as_path != desired.as_path:
+            elif current is None or (
+                current.as_path is not desired.as_path
+                and current.as_path != desired.as_path
+            ):
                 self._send_announcement(peer, desired)
                 sent = True
         return sent

@@ -354,6 +354,107 @@ def _build_parser() -> argparse.ArgumentParser:
         help="export per-phase wall/event counters as JSON to FILE",
     )
 
+    topo = sub.add_parser(
+        "topo",
+        help="Internet-scale topology pipeline: generate, ingest, inspect, bench",
+        description=(
+            "Generate seeded power-law AS graphs, ingest CAIDA-style "
+            "AS-relationship files, print topology statistics, and run "
+            "measured large-graph flap episodes (see docs/SCALING.md)."
+        ),
+    )
+    topo_sub = topo.add_subparsers(dest="topo_command", required=True)
+
+    tgen = topo_sub.add_parser(
+        "gen", help="generate a seeded power-law AS graph and save it"
+    )
+    tgen.add_argument("--nodes", type=int, default=1000, help="AS count (default 1000)")
+    tgen.add_argument(
+        "--attachment", type=int, default=2,
+        help="edges each new AS attaches with (default 2)",
+    )
+    tgen.add_argument(
+        "--exponent", type=float, default=1.0,
+        help="attachment kernel exponent: 1.0 = classic BA (default)",
+    )
+    tgen.add_argument(
+        "--core", type=int, default=4, help="clique-core size (default 4)"
+    )
+    tgen.add_argument("--seed", type=int, default=0, help="generator seed (default 0)")
+    tgen.add_argument(
+        "--relationships", action="store_true",
+        help="assign customer-provider / peer-peer relationships",
+    )
+    tgen.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the topology as JSON (save_topology format)",
+    )
+    tgen.add_argument(
+        "--caida-out", default=None, metavar="FILE",
+        help="also write a CAIDA-style AS-relationship file (needs --relationships)",
+    )
+
+    tingest = topo_sub.add_parser(
+        "ingest", help="ingest a CAIDA-style AS-relationship file"
+    )
+    tingest.add_argument("path", help="AS-relationship file (provider|customer|-1 / peer|peer|0)")
+    tingest.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the ingested topology as JSON (save_topology format)",
+    )
+    tingest.add_argument(
+        "--no-relationships", action="store_true",
+        help="keep only the graph (skip RelationshipMap construction/validation)",
+    )
+    tingest.add_argument(
+        "--strict-connectivity", action="store_true",
+        help="fail on disconnected input instead of keeping the largest component",
+    )
+
+    tstats = topo_sub.add_parser(
+        "stats", help="summarise a topology (JSON or AS-relationship file)"
+    )
+    tstats.add_argument("path", help="topology JSON or AS-relationship file")
+    tstats.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+
+    tbench = topo_sub.add_parser(
+        "bench",
+        help="run a measured large-graph flap episode (wall clock, events/s, peak RSS)",
+    )
+    tbench.add_argument(
+        "--nodes", type=int, default=1000,
+        help="generate a power-law graph this size (default 1000)",
+    )
+    tbench.add_argument(
+        "--topology-file", default=None, metavar="FILE",
+        help="run on a saved topology JSON instead of generating one",
+    )
+    tbench.add_argument("--pulses", type=int, default=2, help="flap pulses (default 2)")
+    tbench.add_argument(
+        "--interval", type=float, default=120.0, help="seconds between flap events"
+    )
+    tbench.add_argument("--seed", type=int, default=0, help="simulation seed (default 0)")
+    tbench.add_argument(
+        "--topology-seed", type=int, default=3,
+        help="generator seed when --topology-file is not given (default 3)",
+    )
+    tbench.add_argument(
+        "--no-coalesce", action="store_true",
+        help="schedule one engine event per message (the small-graph default)",
+    )
+    tbench.add_argument(
+        "--json", default=None, metavar="FILE",
+        help="write the measurements as JSON ('-' for stdout)",
+    )
+    tbench.add_argument(
+        "--write-digests", default=None, metavar="FILE",
+        help="record this episode's metrics digest into FILE",
+    )
+    tbench.add_argument(
+        "--verify-digests", default=None, metavar="FILE",
+        help="fail unless this episode's metrics digest matches FILE",
+    )
+
     lint = sub.add_parser(
         "lint",
         help="run the detlint/semlint/timerlint/perflint static-analysis passes",
@@ -1009,6 +1110,154 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_any_topology(path: str):
+    """Load ``path`` as topology JSON, falling back to the CAIDA-style
+    AS-relationship format (the two interchange formats `topo` accepts)."""
+    from repro.errors import TopologyError
+    from repro.topology.io import load_topology
+    from repro.topology.scale import ingest_as_relationships
+
+    try:
+        return load_topology(path)
+    except TopologyError:
+        return ingest_as_relationships(path)
+
+
+def _scale_digest_key(result) -> str:
+    return (
+        f"{result.topology_name}/seed{result.seed}/pulses{result.pulses}"
+        f"/coalesce{int(result.coalesce_delivery)}"
+    )
+
+
+def _cmd_topo(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.topology.io import load_topology, save_topology
+    from repro.topology.scale import (
+        ingest_as_relationships,
+        powerlaw_topology,
+        topology_stats,
+        write_as_relationships,
+    )
+
+    try:
+        if args.topo_command == "gen":
+            if args.caida_out and not args.relationships:
+                print(
+                    "rfd-repro topo gen: --caida-out requires --relationships",
+                    file=sys.stderr,
+                )
+                return 2
+            topology = powerlaw_topology(
+                args.nodes,
+                attachment=args.attachment,
+                exponent=args.exponent,
+                core=args.core,
+                seed=args.seed,
+                with_relationships=args.relationships,
+            )
+            _print_stats_table(topology_stats(topology))
+            if args.out:
+                save_topology(topology, args.out)
+                print(f"wrote topology to {args.out}")
+            if args.caida_out:
+                write_as_relationships(topology, args.caida_out)
+                print(f"wrote AS relationships to {args.caida_out}")
+            return 0
+
+        if args.topo_command == "ingest":
+            topology = ingest_as_relationships(
+                args.path,
+                largest_component=not args.strict_connectivity,
+                with_relationships=not args.no_relationships,
+            )
+            _print_stats_table(topology_stats(topology))
+            if args.out:
+                save_topology(topology, args.out)
+                print(f"wrote topology to {args.out}")
+            return 0
+
+        if args.topo_command == "stats":
+            stats = topology_stats(_load_any_topology(args.path))
+            if args.json:
+                print(json.dumps(stats, indent=2, sort_keys=True))
+            else:
+                _print_stats_table(stats)
+            return 0
+
+        if args.topo_command == "bench":
+            return _cmd_topo_bench(args)
+    except (ReproError, OSError) as exc:
+        print(f"rfd-repro topo: {exc}", file=sys.stderr)
+        return 2
+    return 1  # pragma: no cover - argparse enforces the choices
+
+
+def _print_stats_table(stats: Dict[str, object]) -> None:
+    rows = [[key, stats[key]] for key in stats]
+    print(render_table(["property", "value"], rows, title="topology stats"))
+
+
+def _cmd_topo_bench(args: argparse.Namespace) -> int:
+    from repro.experiments.scale import run_scale_episode
+    from repro.topology.io import load_topology
+
+    topology = None
+    if args.topology_file:
+        topology = load_topology(args.topology_file)
+    result = run_scale_episode(
+        topology=topology,
+        nodes=args.nodes,
+        pulses=args.pulses,
+        interval=args.interval,
+        seed=args.seed,
+        topology_seed=args.topology_seed,
+        coalesce_delivery=not args.no_coalesce,
+    )
+    payload = result.as_dict()
+    rows = [[key, payload[key]] for key in payload]
+    print(render_table(["metric", "value"], rows, title="scale episode"))
+    if args.json == "-":
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    elif args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote measurements to {args.json}")
+
+    key = _scale_digest_key(result)
+    if args.write_digests:
+        try:
+            with open(args.write_digests, "r", encoding="utf-8") as handle:
+                digests = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            digests = {}
+        digests[key] = result.digest
+        with open(args.write_digests, "w", encoding="utf-8") as handle:
+            json.dump(digests, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"recorded digest for {key} in {args.write_digests}")
+    if args.verify_digests:
+        with open(args.verify_digests, "r", encoding="utf-8") as handle:
+            expected = json.load(handle)
+        if key not in expected:
+            print(
+                f"rfd-repro topo bench: no committed digest for {key} in "
+                f"{args.verify_digests}",
+                file=sys.stderr,
+            )
+            return 1
+        if expected[key] != result.digest:
+            print(
+                f"rfd-repro topo bench: digest mismatch for {key}: "
+                f"expected {expected[key]}, got {result.digest}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"scale digest matches the committed expectation ({key})")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.errors import ConfigurationError
     from repro.lint import (
@@ -1109,6 +1358,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_trace(args)
     if args.command == "faults":
         return _cmd_faults(args)
+    if args.command == "topo":
+        return _cmd_topo(args)
     if args.command == "lint":
         return _cmd_lint(args)
     return 1  # pragma: no cover - argparse enforces the choices

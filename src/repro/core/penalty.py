@@ -6,6 +6,13 @@ demand when it is next read or charged. :class:`PenaltyState` implements
 exactly that, plus the ceiling that bounds suppression at the maximum
 hold-down time.
 
+One instance exists per (peer, prefix) Adj-RIB-In entry, which on a
+10k-node graph means hundreds of thousands of live objects. The class is
+therefore slotted and stores its charge history as two parallel
+``array('d')`` columns (16 bytes per charge) instead of a list of tuple
+objects; :attr:`history` materialises the tuple view on demand for the
+figure plots and tests that read it.
+
 This class is deliberately ignorant of suppression decisions — it only
 does the arithmetic. :class:`repro.core.damping.DampingManager` layers the
 suppress/reuse state machine on top.
@@ -13,22 +20,29 @@ suppress/reuse state machine on top.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from array import array
 from typing import List, Tuple
 
 from repro.core.params import DampingParams, UpdateKind
 from repro.errors import SimulationError
 
 
-@dataclass
 class PenaltyState:
     """Penalty figure-of-merit for one (peer, prefix) Adj-RIB-In entry."""
 
-    params: DampingParams
-    _value: float = 0.0
-    _stamp: float = 0.0
-    #: (time, value-after-charge) pairs, recorded only at charge instants.
-    history: List[Tuple[float, float]] = field(default_factory=list)
+    __slots__ = ("params", "_value", "_stamp", "_hist_t", "_hist_v")
+
+    def __init__(self, params: DampingParams, value: float = 0.0, stamp: float = 0.0) -> None:
+        self.params = params
+        self._value = value
+        self._stamp = stamp
+        self._hist_t: "array[float]" = array("d")
+        self._hist_v: "array[float]" = array("d")
+
+    @property
+    def history(self) -> List[Tuple[float, float]]:
+        """(time, value-after-charge) pairs, recorded at charge instants."""
+        return list(zip(self._hist_t, self._hist_v))
 
     def value_at(self, now: float) -> float:
         """Current decayed penalty at simulated time ``now``."""
@@ -55,7 +69,8 @@ class PenaltyState:
         self._value = new_value
         self._stamp = now
         if increment > 0:
-            self.history.append((now, new_value))
+            self._hist_t.append(now)
+            self._hist_v.append(new_value)
         return new_value
 
     def touch(self, now: float) -> float:

@@ -35,9 +35,22 @@ def _link_key(a: str, b: str) -> Tuple[str, str]:
 class Network:
     """A collection of nodes joined by point-to-point links."""
 
-    def __init__(self, engine: Engine, rng: Optional[RngRegistry] = None) -> None:
+    def __init__(
+        self,
+        engine: Engine,
+        rng: Optional[RngRegistry] = None,
+        coalesce_delivery: bool = False,
+    ) -> None:
         self.engine = engine
         self.rng = rng if rng is not None else RngRegistry(0)
+        #: When True, links batch pending deliveries per direction behind
+        #: a single engine event instead of scheduling one event per
+        #: message (see :class:`repro.net.link._DeliveryBatch`). Message
+        #: delivery *times* are identical either way; only the execution
+        #: order of same-instant deliveries may differ, so large-graph
+        #: scenarios opt in while the paper's figures keep the historical
+        #: event order (and their committed digests).
+        self.coalesce_delivery = coalesce_delivery
         self._nodes: Dict[str, Node] = {}
         self._links: Dict[Tuple[str, str], Link] = {}
         self._delivery_hooks: List[DeliveryHook] = []

@@ -7,17 +7,30 @@
   topologies (see DESIGN.md's substitution notes).
 - :mod:`repro.topology.relationships` — customer-provider / peer-peer
   assignment used by the no-valley policy experiment (Figure 15).
+- :mod:`repro.topology.scale` — the Internet-scale pipeline: seeded
+  power-law synthesis, CAIDA-style AS-relationship ingest, and summary
+  stats (see docs/SCALING.md).
 """
 
 from repro.topology.internet import internet_topology
 from repro.topology.mesh import mesh_topology
 from repro.topology.relationships import RelationshipMap, assign_relationships
 from repro.topology.model import Topology
+from repro.topology.scale import (
+    ingest_as_relationships,
+    powerlaw_topology,
+    topology_stats,
+    write_as_relationships,
+)
 
 __all__ = [
     "RelationshipMap",
     "Topology",
     "assign_relationships",
+    "ingest_as_relationships",
     "internet_topology",
     "mesh_topology",
+    "powerlaw_topology",
+    "topology_stats",
+    "write_as_relationships",
 ]

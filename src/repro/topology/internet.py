@@ -12,7 +12,7 @@ peering edges to raise path diversity toward measured AS-graph levels.
 from __future__ import annotations
 
 import random
-from typing import Optional
+from typing import Optional, Sequence
 
 import networkx as nx
 
@@ -104,7 +104,11 @@ def _add_peering_edges(graph: nx.Graph, fraction: float, seed: int) -> None:
         added += 1
 
 
-def pick_isp(topology: Topology, rng: Optional[random.Random] = None) -> str:
+def pick_isp(
+    topology: Topology,
+    rng: Optional[random.Random] = None,
+    nodes: Optional[Sequence[str]] = None,
+) -> str:
     """Randomly select a node to play the ``ispAS`` role.
 
     The paper "randomly select[s] a node to be the ispAS"; a plain uniform
@@ -117,6 +121,12 @@ def pick_isp(topology: Topology, rng: Optional[random.Random] = None) -> str:
     this function and :func:`repro.workload.patterns.pattern_by_name`
     fell back to ``random.Random(0)`` and silently shared a stream
     (the hazard detlint rule DET002 exists to catch).
+
+    ``topology.nodes`` is a lazily cached sorted list, so repeated calls
+    are O(1) after the first; callers drawing many ISPs in a tight loop
+    (sweep setup on 10k-node graphs) can also pass a precomputed
+    ``nodes`` sequence to skip the property lookup entirely.
     """
     chooser = rng if rng is not None else RngRegistry(0).stream("topology:pick-isp")
-    return chooser.choice(topology.nodes)
+    candidates = nodes if nodes is not None else topology.nodes
+    return chooser.choice(candidates)

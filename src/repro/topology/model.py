@@ -23,6 +23,16 @@ class Topology:
     graph: nx.Graph
     relationships: Optional[RelationshipMap] = None
     metadata: dict = field(default_factory=dict)
+    # Lazily cached sorted views. The graph is treated as immutable once
+    # the Topology is constructed (scenario builders add routers to the
+    # Network, never nodes to the graph), so the caches never go stale;
+    # call invalidate_caches() after any deliberate in-place mutation.
+    _nodes_cache: Optional[List[str]] = field(
+        default=None, repr=False, compare=False
+    )
+    _edges_cache: Optional[List[Tuple[str, str]]] = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.graph.number_of_nodes() == 0:
@@ -45,11 +55,20 @@ class Topology:
 
     @property
     def nodes(self) -> List[str]:
-        return sorted(self.graph.nodes)
+        if self._nodes_cache is None:
+            self._nodes_cache = sorted(self.graph.nodes)
+        return self._nodes_cache
 
     @property
     def edges(self) -> List[Tuple[str, str]]:
-        return sorted(tuple(sorted(e)) for e in self.graph.edges)
+        if self._edges_cache is None:
+            self._edges_cache = sorted(tuple(sorted(e)) for e in self.graph.edges)
+        return self._edges_cache
+
+    def invalidate_caches(self) -> None:
+        """Drop the sorted node/edge caches after in-place graph edits."""
+        self._nodes_cache = None
+        self._edges_cache = None
 
     def degree(self, node: str) -> int:
         return int(self.graph.degree[node])

@@ -97,6 +97,12 @@ class ScenarioConfig:
     #: penalty (RFC 2439 leaves this to the implementation; the fault
     #: experiments turn it on to measure crash-induced charging).
     charge_on_session_reset: bool = False
+    #: Batch pending link deliveries behind one engine event per link
+    #: direction (see docs/SCALING.md). Delivery times are unchanged but
+    #: same-instant execution order can differ, so this is opt-in for
+    #: large-graph scenarios; the paper's figures keep it off to
+    #: preserve their committed digests.
+    coalesce_delivery: bool = False
 
     def __post_init__(self) -> None:
         if self.rcn and self.selective:
@@ -193,7 +199,9 @@ class Scenario:
         self.config = config
         self.rng = RngRegistry(config.seed)
         self.engine = Engine(detect_ties=config.detect_schedule_ties)
-        self.network = Network(self.engine, self.rng)
+        self.network = Network(
+            self.engine, self.rng, coalesce_delivery=config.coalesce_delivery
+        )
         self.routers: Dict[str, BgpRouter] = {}
         self.policy = self._build_policy()
         self.isp = self._choose_isp()
@@ -667,4 +675,5 @@ def _config_cache_key(config: ScenarioConfig) -> Hashable:
         config.faults,
         config.graceful_restart,
         config.charge_on_session_reset,
+        config.coalesce_delivery,
     )

@@ -1,0 +1,161 @@
+"""Unit tests for the CI scale-smoke memory gate (benchmarks/compare_mem.py).
+
+Like compare_perf.py, the script lives outside the package and is
+loaded via an importlib spec from its file path. The seeded-regression
+cases here are the gate's own regression test: the scale-smoke job is
+only trustworthy if a deliberately inflated measurement fails it.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+_SCRIPT = (
+    pathlib.Path(__file__).resolve().parents[2] / "benchmarks" / "compare_mem.py"
+)
+
+
+@pytest.fixture(scope="module")
+def compare_mem():
+    spec = importlib.util.spec_from_file_location("compare_mem", _SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _measurement(**overrides):
+    doc = {
+        "topology": "powerlaw-1000",
+        "nodes": 1000,
+        "seed": 0,
+        "pulses": 2,
+        "coalesce_delivery": True,
+        "total_seconds": 3.0,
+        "peak_rss_bytes": 100 * 1024**2,
+        "digest": "a" * 64,
+    }
+    doc.update(overrides)
+    return doc
+
+
+def _write(tmp_path, name, doc):
+    path = tmp_path / name
+    path.write_text(json.dumps(doc), encoding="utf-8")
+    return str(path)
+
+
+@pytest.fixture()
+def many_cpus(compare_mem, monkeypatch):
+    """Pretend the host has enough CPUs for the wall-clock gate."""
+    monkeypatch.setattr(compare_mem, "host_cpus", lambda: 4)
+
+
+def test_identical_measurements_pass(compare_mem, tmp_path, many_cpus, capsys):
+    baseline = _write(tmp_path, "base.json", _measurement())
+    current = _write(tmp_path, "cur.json", _measurement())
+    assert compare_mem.main(["--baseline", baseline, "--current", current]) == 0
+    out = capsys.readouterr().out
+    assert "within memory and wall-clock budgets" in out
+
+
+def test_seeded_2x_rss_regression_fails(compare_mem, tmp_path, many_cpus, capsys):
+    baseline = _write(tmp_path, "base.json", _measurement())
+    current = _write(
+        tmp_path, "cur.json", _measurement(peak_rss_bytes=200 * 1024**2)
+    )
+    assert compare_mem.main(["--baseline", baseline, "--current", current]) == 1
+    assert "peak RSS regressed 2.00x" in capsys.readouterr().err
+
+
+def test_rss_threshold_is_respected(compare_mem, tmp_path, many_cpus):
+    baseline = _write(tmp_path, "base.json", _measurement())
+    current = _write(
+        tmp_path, "cur.json", _measurement(peak_rss_bytes=int(120 * 1024**2))
+    )
+    # 1.2x: inside the default 1.30x gate...
+    assert compare_mem.main(["--baseline", baseline, "--current", current]) == 0
+    # ...but outside a tightened one.
+    assert (
+        compare_mem.main(
+            ["--baseline", baseline, "--current", current, "--rss-threshold", "1.1"]
+        )
+        == 1
+    )
+
+
+def test_wall_clock_regression_fails(compare_mem, tmp_path, many_cpus, capsys):
+    baseline = _write(tmp_path, "base.json", _measurement())
+    current = _write(tmp_path, "cur.json", _measurement(total_seconds=9.0))
+    assert compare_mem.main(["--baseline", baseline, "--current", current]) == 1
+    assert "wall clock regressed 3.00x" in capsys.readouterr().err
+
+
+def test_wall_clock_gate_skips_on_single_cpu(
+    compare_mem, tmp_path, monkeypatch, capsys
+):
+    monkeypatch.setattr(compare_mem, "host_cpus", lambda: 1)
+    baseline = _write(tmp_path, "base.json", _measurement())
+    current = _write(tmp_path, "cur.json", _measurement(total_seconds=9.0))
+    # A 3x wall-clock blowup passes on a 1-CPU host (timing there is
+    # contention noise), but the skip is announced...
+    assert compare_mem.main(["--baseline", baseline, "--current", current]) == 0
+    assert "wall-clock budget skipped" in capsys.readouterr().out
+    # ...and the RSS gate still fires.
+    regressed = _write(
+        tmp_path, "rss.json",
+        _measurement(total_seconds=9.0, peak_rss_bytes=300 * 1024**2),
+    )
+    assert compare_mem.main(["--baseline", baseline, "--current", regressed]) == 1
+
+
+def test_absolute_ceilings(compare_mem, tmp_path, many_cpus, capsys):
+    baseline = _write(tmp_path, "base.json", _measurement())
+    current = _write(tmp_path, "cur.json", _measurement())
+    assert (
+        compare_mem.main(
+            ["--baseline", baseline, "--current", current, "--max-rss-mb", "50"]
+        )
+        == 1
+    )
+    assert "ceiling" in capsys.readouterr().err
+    assert (
+        compare_mem.main(
+            ["--baseline", baseline, "--current", current, "--max-seconds", "1.5"]
+        )
+        == 1
+    )
+    assert "budget" in capsys.readouterr().err
+
+
+def test_workload_mismatch_fails(compare_mem, tmp_path, many_cpus, capsys):
+    baseline = _write(tmp_path, "base.json", _measurement())
+    current = _write(tmp_path, "cur.json", _measurement(nodes=5000))
+    assert compare_mem.main(["--baseline", baseline, "--current", current]) == 1
+    assert "workload mismatch" in capsys.readouterr().err
+
+
+def test_digest_change_fails(compare_mem, tmp_path, many_cpus, capsys):
+    baseline = _write(tmp_path, "base.json", _measurement())
+    current = _write(tmp_path, "cur.json", _measurement(digest="b" * 64))
+    assert compare_mem.main(["--baseline", baseline, "--current", current]) == 1
+    assert "digest changed" in capsys.readouterr().err
+
+
+def test_missing_file_is_usage_error(compare_mem, tmp_path):
+    baseline = _write(tmp_path, "base.json", _measurement())
+    assert (
+        compare_mem.main(
+            ["--baseline", baseline, "--current", str(tmp_path / "absent.json")]
+        )
+        == 2
+    )
+
+
+def test_malformed_measurement_is_usage_error(compare_mem, tmp_path):
+    baseline = _write(tmp_path, "base.json", _measurement())
+    bad = _write(tmp_path, "bad.json", {"total_seconds": 3.0})
+    assert compare_mem.main(["--baseline", baseline, "--current", bad]) == 2
